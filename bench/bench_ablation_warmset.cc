@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §5.2): which structures must functional warming
+ * maintain? Compares the 5-phase bias of four warm sets — nothing,
+ * caches+TLBs only, branch predictor only, and everything — at the
+ * recommended small W.
+ *
+ * Expected reading: cache warming dominates for memory-bound
+ * benchmarks, predictor warming for branch-heavy ones; only the full
+ * warm set keeps every benchmark's bias small, which is why the paper
+ * warms all long-history state.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/bias.hh"
+
+using namespace smarts;
+using namespace smarts::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(
+        argc, argv, /*default_quick=*/true, "ablation_warmset.csv");
+    banner("Ablation: functional-warming warm set vs bias (8-way)",
+           opt);
+
+    const auto config = uarch::MachineConfig::eightWay();
+    core::ReferenceRunner runner(opt.scale, config);
+
+    const struct
+    {
+        const char *label;
+        core::WarmingMode mode;
+    } modes[] = {
+        {"none", core::WarmingMode::None},
+        {"caches only", core::WarmingMode::CachesOnly},
+        {"bpred only", core::WarmingMode::BpredOnly},
+        {"full", core::WarmingMode::Functional},
+    };
+
+    TextTable table({"benchmark", "bias none", "bias caches",
+                     "bias bpred", "bias full", "best partial set"});
+
+    int full_wins = 0, total = 0;
+    for (const auto &spec : opt.suite()) {
+        const core::ReferenceResult ref = runner.get(spec);
+        table.row().add(spec.name);
+        double biases[4];
+        for (int m = 0; m < 4; ++m) {
+            core::SamplingConfig sc;
+            sc.unitSize = 1000;
+            sc.detailedWarming = 2000;
+            sc.interval = core::SamplingConfig::chooseInterval(
+                ref.instructions, sc.unitSize, 120);
+            sc.warming = modes[m].mode;
+            const core::BiasResult bias = core::measureBias(
+                [&] {
+                    return std::make_unique<core::SimSession>(spec,
+                                                              config);
+                },
+                sc, 5, ref.cpi);
+            biases[m] = bias.relativeBias;
+            table.addPercent(bias.relativeBias, 2);
+        }
+        table.add(std::abs(biases[1]) <= std::abs(biases[2])
+                      ? "caches"
+                      : "bpred");
+        ++total;
+        if (std::abs(biases[3]) <=
+            std::min(std::abs(biases[1]), std::abs(biases[2])) + 0.005) {
+            ++full_wins;
+        }
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+    emit(table, opt);
+    std::printf("full warm set at-or-near the best partial set for "
+                "%d/%d benchmarks; no partial set is safe across the "
+                "suite (why the paper warms caches, TLBs and "
+                "predictors together).\n",
+                full_wins, total);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 5 reproduction: the fraction of the benchmark that must be
+ * simulated in detail, n·(U+W)/N, as a function of the sampling unit
+ * size U, for several detailed-warming budgets W. n is derived from
+ * the measured V_CPI(U) for a 99.7% ±3% target.
+ *
+ * The per-unit-size n = ((z·V(U))/ε)² is a property of the
+ * benchmark's variability alone and does not depend on the
+ * population size (paper Section 2), so the detailed *fraction* is
+ * reported against the paper-scale population N = 10B instructions —
+ * our synthetic benchmarks supply V(U), the nominal N supplies the
+ * denominator the paper's figure uses.
+ *
+ * Paper shape to match: with W = 0 the smallest U wins; with real W
+ * the optimum moves into U ≈ 100-10,000; U = 1000 stays within a
+ * small factor of optimal everywhere (so the paper fixes U = 1000).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/confidence.hh"
+
+using namespace smarts;
+using namespace smarts::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(
+        argc, argv, /*default_quick=*/true, "fig5_optimal_u.csv");
+    banner("Figure 5: detailed fraction vs U, optimal U", opt);
+
+    const auto config = uarch::MachineConfig::eightWay();
+    core::ReferenceRunner runner(opt.scale, config);
+    const stats::ConfidenceSpec target{0.997, 0.03};
+    const double nominalN = 1e10; // paper-scale benchmark length
+
+    const std::vector<std::uint64_t> unit_sizes = {10,     100,  1000,
+                                                   10'000, 100'000};
+    const std::vector<std::uint64_t> warmings = {0, 1000, 100'000};
+
+    TextTable table({"benchmark", "W", "U=10", "U=100", "U=1000",
+                     "U=10^4", "U=10^5", "optimal U"});
+
+    int u1000_good = 0, cases = 0;
+    int optimum_moved = 0;
+    for (const auto &spec : opt.suite()) {
+        const core::ReferenceResult ref = runner.get(spec);
+        std::uint64_t best_u_w0 = 0;
+        for (const std::uint64_t w : warmings) {
+            table.row().add(spec.name).add(w);
+            double best_frac = 1e300;
+            std::uint64_t best_u = 0;
+            double frac_u1000 = 0;
+            for (const std::uint64_t u : unit_sizes) {
+                // CV at large U needs enough units to estimate; skip
+                // unit sizes leaving fewer than 16 units in the trace.
+                const double cv =
+                    ref.instructions / u >= 16
+                        ? core::cvAtUnitSize(ref, u)
+                        : core::cvAtUnitSize(
+                              ref, ref.instructions / 16);
+                const std::uint64_t n =
+                    stats::requiredSampleSize(cv, target);
+                const double frac =
+                    static_cast<double>(n) *
+                    static_cast<double>(u + w) / nominalN;
+                table.addPercent(frac, 4);
+                if (frac < best_frac) {
+                    best_frac = frac;
+                    best_u = u;
+                }
+                if (u == 1000)
+                    frac_u1000 = frac;
+            }
+            table.add(best_u);
+            if (w == 0)
+                best_u_w0 = best_u;
+            else if (best_u > best_u_w0)
+                ++optimum_moved;
+            ++cases;
+            if (frac_u1000 <= best_frac * 10.0 + 1e-12)
+                ++u1000_good;
+        }
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+    emit(table, opt);
+    std::printf("shape check: nonzero W moved the optimal U upward in "
+                "%d cases; U=1000 within 10x of the optimal detailed "
+                "fraction in %d/%d cases (the paper's 'choosing the "
+                "optimal U gains at most tens of minutes').\n",
+                optimum_moved, u1000_good, cases);
+    return 0;
+}

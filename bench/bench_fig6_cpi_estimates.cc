@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 6 reproduction: CPI estimated by one SMARTS run with the
+ * generic initial sample size, per benchmark: the actual error
+ * against the full-stream reference and the predicted 99.7%
+ * confidence interval; benchmarks with CIs above ±3% are rerun with
+ * n_tuned.
+ *
+ * Paper shape to match: actual error well inside the predicted CI
+ * for nearly all benchmarks (average |error| ~0.64%); a few
+ * benchmarks miss the ±3% CI on the first try and meet it after the
+ * n_tuned rerun.
+ *
+ * Scaling note: at paper scale n_init = 10,000 out of millions of
+ * units; our benchmarks have thousands of units, so n_init is scaled
+ * to ~N/8 to keep k ≈ 8 and preserve the procedure's structure.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/procedure.hh"
+
+using namespace smarts;
+using namespace smarts::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseOptions(argc, argv, /*default_quick=*/false,
+                                    "fig6_cpi_estimates.csv");
+    bool machine_flag = false;
+    for (int i = 1; i < argc; ++i)
+        machine_flag |= std::string(argv[i]).rfind("--machine=", 0) == 0;
+    if (!machine_flag)
+        opt.runSixteen = true;
+    banner("Figure 6: SMARTS CPI estimates with the initial sample",
+           opt);
+
+    TextTable table({"machine", "benchmark", "ref CPI", "est CPI",
+                     "actual err", "99.7% CI", "within CI+2%?",
+                     "n_tuned rerun err"});
+
+    for (const auto &config : machines(opt)) {
+        core::ReferenceRunner runner(opt.scale, config);
+        stats::OnlineStats abs_err;
+        stats::OnlineStats final_abs_err;
+        int ci_ok = 0, total = 0, reruns = 0;
+
+        for (const auto &spec : opt.suite()) {
+            const core::ReferenceResult ref = runner.get(spec);
+
+            core::ProcedureConfig pc;
+            pc.unitSize = 1000;
+            pc.detailedWarming = recommendedW(config);
+            pc.warming = core::WarmingMode::Functional;
+            pc.target = {0.997, 0.03};
+            pc.nInit = std::max<std::uint64_t>(
+                ref.instructions / 1000 / 8, 60);
+
+            const core::SmartsProcedure proc(pc);
+            const auto factory = [&] {
+                return std::make_unique<core::SimSession>(spec, config);
+            };
+
+            // Initial run only (the figure's bars); procedure handles
+            // the rerun when needed.
+            const core::ProcedureResult result =
+                proc.estimate(factory, ref.instructions);
+
+            const auto &init = result.initial;
+            const double err = (init.cpi() - ref.cpi) / ref.cpi;
+            const double ci = init.cpiConfidenceInterval(0.997);
+            abs_err.add(std::abs(err));
+            ++total;
+            // Sampling CI + the paper's ~2% empirical warming-bias
+            // budget.
+            const bool ok = std::abs(err) <= ci + 0.02;
+            ci_ok += ok ? 1 : 0;
+
+            std::string rerun_err = "-";
+            if (!result.metOnFirstTry()) {
+                ++reruns;
+                const double terr =
+                    (result.tuned->cpi() - ref.cpi) / ref.cpi;
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                              terr * 100.0);
+                rerun_err = buf;
+            }
+            final_abs_err.add(
+                std::abs(result.final().cpi() - ref.cpi) / ref.cpi);
+
+            table.row()
+                .add(config.name)
+                .add(spec.name)
+                .add(ref.cpi, 4)
+                .add(init.cpi(), 4)
+                .addPercent(err, 2)
+                .addPercent(ci, 2)
+                .add(ok ? "yes" : "NO")
+                .add(rerun_err);
+            std::printf(".");
+            std::fflush(stdout);
+        }
+        std::printf("\n%s: initial-sample mean |error| = %.2f%%; "
+                    "final (after n_tuned) mean |error| = %.2f%% over "
+                    "%d benchmarks (paper final: 0.64%%); %d/%d within "
+                    "CI+2%%; %d n_tuned reruns\n",
+                    config.name.c_str(), abs_err.mean() * 100.0,
+                    final_abs_err.mean() * 100.0, total, ci_ok, total,
+                    reruns);
+    }
+    std::printf("\n");
+    emit(table, opt);
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * the functional interpreter, functional warming, the detailed core,
+ * cache/TLB/predictor accesses, and k-means. These are the quantities
+ * S_F, S_FW and S_D of the paper's rate model — run this to see what
+ * the Figure 4 model means on this host.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/branch_unit.hh"
+#include "core/session.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "simpoint/kmeans.hh"
+#include "sisa/encoding.hh"
+#include "uarch/config.hh"
+#include "util/rng.hh"
+#include "workloads/benchmark.hh"
+
+namespace {
+
+using namespace smarts;
+
+void
+BM_FunctionalSimulation(benchmark::State &state)
+{
+    const auto spec =
+        workloads::findBenchmark("fsm-2", workloads::Scale::Mini);
+    const auto config = uarch::MachineConfig::eightWay();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        core::SimSession s(spec, config);
+        insts += s.fastForward(~0ull >> 1, core::WarmingMode::None);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel("items = simulated instructions (S_F)");
+}
+BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalWarming(benchmark::State &state)
+{
+    const auto spec =
+        workloads::findBenchmark("fsm-2", workloads::Scale::Mini);
+    const auto config = uarch::MachineConfig::eightWay();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        core::SimSession s(spec, config);
+        insts +=
+            s.fastForward(~0ull >> 1, core::WarmingMode::Functional);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel("items = simulated instructions (S_FW)");
+}
+BENCHMARK(BM_FunctionalWarming)->Unit(benchmark::kMillisecond);
+
+void
+BM_DetailedSimulation(benchmark::State &state)
+{
+    const auto spec =
+        workloads::findBenchmark("fsm-2", workloads::Scale::Mini);
+    const auto config = uarch::MachineConfig::eightWay();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        core::SimSession s(spec, config);
+        while (!s.finished()) {
+            const auto seg = s.detailedRun(1'000'000);
+            insts += seg.instructions;
+            if (!seg.instructions && !seg.cycles)
+                break;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.SetLabel("items = simulated instructions (S_D)");
+}
+BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache("bm", {32 * 1024, 2, 32, 1});
+    Xoshiro256StarStar rng(1);
+    std::vector<std::uint32_t> addrs(4096);
+    for (auto &a : addrs)
+        a = static_cast<std::uint32_t>(rng.below(1 << 20));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095], false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyWarmLoad(benchmark::State &state)
+{
+    mem::MemHierarchy hier(uarch::MachineConfig::eightWay().mem);
+    Xoshiro256StarStar rng(2);
+    std::vector<std::uint32_t> addrs(4096);
+    for (auto &a : addrs)
+        a = static_cast<std::uint32_t>(rng.below(1 << 24));
+    std::size_t i = 0;
+    for (auto _ : state)
+        hier.warmLoad(addrs[i++ & 4095]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyWarmLoad);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    bpred::BranchUnit unit(uarch::MachineConfig::eightWay().bpred);
+    const auto di =
+        sisa::decode(sisa::encode(sisa::Opcode::BNE, 1, 2, 0, -16));
+    Xoshiro256StarStar rng(3);
+    std::uint32_t pc = 0x1000;
+    for (auto _ : state) {
+        const auto p = unit.predict(pc, di);
+        benchmark::DoNotOptimize(p.taken);
+        unit.update(pc, di, rng.chance(0.6), pc - 16);
+        pc = 0x1000 + static_cast<std::uint32_t>(rng.below(512)) * 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_KmeansSweep(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(4);
+    std::vector<std::vector<double>> points(200,
+                                            std::vector<double>(15));
+    for (auto &p : points)
+        for (auto &x : p)
+            x = rng.uniform();
+    for (auto _ : state) {
+        Xoshiro256StarStar seed(42);
+        benchmark::DoNotOptimize(
+            simpoint::kmeansSweep(points, 10, seed).size());
+    }
+}
+BENCHMARK(BM_KmeansSweep)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Methodology duel (paper Section 5.3): SimPoint's cluster-and-pick
+ * approach vs SMARTS systematic sampling on a phase-heavy benchmark,
+ * both judged against the full-stream detailed reference.
+ *
+ * Usage: simpoint_vs_smarts [benchmark]   (default: phase-1)
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/reference.hh"
+#include "core/sampler.hh"
+#include "core/session.hh"
+#include "simpoint/simpoint.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace smarts;
+
+    const std::string name = argc > 1 ? argv[1] : "phase-1";
+    const auto scale = workloads::Scale::Mini;
+    const auto spec = workloads::findBenchmark(name, scale);
+    const auto config = uarch::MachineConfig::eightWay();
+
+    std::printf("full-stream reference for %s (one-off cost)...\n",
+                spec.name.c_str());
+    core::ReferenceRunner runner(scale, config);
+    const core::ReferenceResult ref = runner.get(spec);
+    std::printf("reference CPI = %.4f over %.1f M instructions\n\n",
+                ref.cpi, static_cast<double>(ref.instructions) / 1e6);
+
+    auto factory = [&] {
+        return std::make_unique<core::SimSession>(spec, config);
+    };
+
+    // --- SimPoint ---------------------------------------------------
+    simpoint::SimPointConfig sp;
+    sp.intervalSize = 100'000; // scaled from the published 10M-100M
+    sp.maxK = 10;
+    const auto sp_est = simpoint::runSimPoint(factory, sp);
+    const double sp_err = (sp_est.cpi - ref.cpi) / ref.cpi;
+    std::printf("SimPoint : k=%u intervals of %llu -> CPI %.4f "
+                "(error %+.2f%%, no confidence bound)\n",
+                sp_est.selection.k,
+                static_cast<unsigned long long>(sp.intervalSize),
+                sp_est.cpi, sp_err * 100.0);
+
+    // --- SMARTS -----------------------------------------------------
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 2000;
+    sc.interval = core::SamplingConfig::chooseInterval(
+        ref.instructions, sc.unitSize,
+        std::max<std::uint64_t>(
+            sp_est.instructionsDetailed / sc.unitSize, 100));
+    sc.warming = core::WarmingMode::Functional;
+    auto session = factory();
+    const auto sm_est = core::SystematicSampler(sc).run(*session);
+    const double sm_err = (sm_est.cpi() - ref.cpi) / ref.cpi;
+    std::printf("SMARTS   : %llu units of %llu -> CPI %.4f "
+                "(error %+.2f%%, 99.7%% CI +/-%.2f%%)\n\n",
+                static_cast<unsigned long long>(sm_est.units()),
+                static_cast<unsigned long long>(sc.unitSize),
+                sm_est.cpi(), sm_err * 100.0,
+                sm_est.cpiConfidenceInterval(0.997) * 100.0);
+
+    std::printf("Both methods detail-simulated a similar instruction "
+                "budget\n(SimPoint %.2f M vs SMARTS %.2f M), but only "
+                "SMARTS reports a\nconfidence interval, and many small "
+                "units track phase behaviour\nthat a few large "
+                "representatives can miss (paper Figure 8).\n",
+                static_cast<double>(sp_est.instructionsDetailed) / 1e6,
+                static_cast<double>(sm_est.instructionsMeasured +
+                                    sm_est.instructionsWarmed) /
+                    1e6);
+    return 0;
+}
