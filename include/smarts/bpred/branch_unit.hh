@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BranchUnit: gshare direction predictor + direct-mapped BTB +
+ * return-address stack. Like the caches, it is long-history state
+ * shared between the detailed core (predict + update with timing
+ * consequences) and functional warming (update only).
+ */
+
+#ifndef SMARTS_BPRED_BRANCH_UNIT_HH
+#define SMARTS_BPRED_BRANCH_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sisa/encoding.hh"
+
+namespace smarts::bpred {
+
+struct BpredConfig
+{
+    std::uint32_t historyBits = 12; ///< gshare table = 2^historyBits.
+    std::uint32_t btbEntries = 512;
+    std::uint32_t rasEntries = 8;
+};
+
+struct Prediction
+{
+    bool taken = false;
+    std::uint32_t target = 0;
+};
+
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BpredConfig &config) : config_(config)
+    {
+        counters_.assign(std::size_t(1) << config.historyBits, 1);
+        btbTags_.assign(config.btbEntries, 0);
+        btbTargets_.assign(config.btbEntries, 0);
+        ras_.assign(config.rasEntries, 0);
+    }
+
+    /**
+     * Predict direction and target for the branch at @p pc. Pops the
+     * RAS for returns (JR through the r31 link convention); callers
+     * never roll back, so speculative RAS repair is unnecessary.
+     */
+    Prediction
+    predict(std::uint32_t pc, const sisa::DecodedInst &di)
+    {
+        ++lookups_;
+        Prediction p;
+        if (di.isCondBranch()) {
+            p.taken = counters_[tableIndex(pc)] >= 2;
+            p.target = p.taken ? di.branchTarget(pc) : pc + 4;
+        } else if (di.op == sisa::Opcode::JAL) {
+            p.taken = true;
+            p.target = di.branchTarget(pc);
+        } else if (di.op == sisa::Opcode::JR) {
+            p.taken = true;
+            if (di.a == 31 && rasTop_ > 0) {
+                p.target = ras_[--rasTop_ % ras_.size()];
+            } else {
+                const std::uint32_t slot = btbIndex(pc);
+                p.target =
+                    btbTags_[slot] == pc ? btbTargets_[slot] : pc + 4;
+            }
+        }
+        return p;
+    }
+
+    /**
+     * Train on the resolved outcome. Used by the detailed core after
+     * every executed branch and by functional warming in program
+     * order (WarmingMode::BpredOnly / Functional).
+     */
+    void
+    update(std::uint32_t pc, const sisa::DecodedInst &di, bool taken,
+           std::uint32_t target)
+    {
+        if (di.isCondBranch()) {
+            std::uint8_t &ctr = counters_[tableIndex(pc)];
+            if (taken && ctr < 3)
+                ++ctr;
+            else if (!taken && ctr > 0)
+                --ctr;
+            history_ = (history_ << 1) | (taken ? 1u : 0u);
+        } else if (di.op == sisa::Opcode::JAL && di.a != 0) {
+            ras_[rasTop_++ % ras_.size()] = pc + 4;
+        } else if (di.op == sisa::Opcode::JR) {
+            const std::uint32_t slot = btbIndex(pc);
+            btbTags_[slot] = pc;
+            btbTargets_[slot] = target;
+        }
+    }
+
+    /**
+     * Pop the return-address stack without a prediction. Functional
+     * warming uses this for returns so the RAS depth tracks what
+     * the detailed core's predict() would have done.
+     */
+    void
+    popReturn()
+    {
+        if (rasTop_ > 0)
+            --rasTop_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counters_.begin(), counters_.end(), 1);
+        std::fill(btbTags_.begin(), btbTags_.end(), 0);
+        std::fill(btbTargets_.begin(), btbTargets_.end(), 0);
+        history_ = 0;
+        rasTop_ = 0;
+        lookups_ = 0;
+    }
+
+    std::uint64_t lookups() const { return lookups_; }
+    const BpredConfig &config() const { return config_; }
+
+  private:
+    std::uint32_t
+    tableIndex(std::uint32_t pc) const
+    {
+        const std::uint32_t mask =
+            (1u << config_.historyBits) - 1u;
+        return ((pc >> 2) ^ history_) & mask;
+    }
+
+    std::uint32_t
+    btbIndex(std::uint32_t pc) const
+    {
+        return (pc >> 2) % config_.btbEntries;
+    }
+
+    BpredConfig config_;
+    std::vector<std::uint8_t> counters_;
+    std::vector<std::uint32_t> btbTags_;
+    std::vector<std::uint32_t> btbTargets_;
+    std::vector<std::uint32_t> ras_;
+    std::uint32_t history_ = 0;
+    std::uint32_t rasTop_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace smarts::bpred
+
+#endif // SMARTS_BPRED_BRANCH_UNIT_HH

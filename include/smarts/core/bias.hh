@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Warming-bias measurement (paper Tables 4-5): run the systematic
+ * sampler at several evenly spaced phase offsets j and compare the
+ * mean estimated CPI against the full-stream reference. Sampling
+ * error averages out across phases; what remains is the bias of the
+ * warming strategy under test.
+ */
+
+#ifndef SMARTS_CORE_BIAS_HH
+#define SMARTS_CORE_BIAS_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/sampler.hh"
+
+namespace smarts::core {
+
+struct BiasResult
+{
+    double relativeBias = 0.0; ///< (mean est CPI - ref) / ref.
+    double meanEstimatedCpi = 0.0;
+    double referenceCpi = 0.0;
+    std::vector<double> phaseCpi; ///< per-phase estimates.
+};
+
+/**
+ * Measure warming bias: run @p phases sampler passes over fresh
+ * sessions from @p factory, phase-offsetting each by interval/phases
+ * units, and average against @p referenceCpi.
+ */
+BiasResult
+measureBias(const std::function<std::unique_ptr<SimSession>()> &factory,
+            const SamplingConfig &config, int phases,
+            double referenceCpi);
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_BIAS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's analytic simulation-rate model (Section 3.4,
+ * Figure 4). Rates are relative to functional simulation speed
+ * S_F = 1; a SMARTS run spends n*(U+W) instructions at the detailed
+ * rate S_D and the rest of the N-instruction stream at S_F (no
+ * warming) or S_FW (functional warming).
+ */
+
+#ifndef SMARTS_CORE_PERF_MODEL_HH
+#define SMARTS_CORE_PERF_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace smarts::core {
+
+/** Relative mode rates; functional is the 1.0 reference. */
+struct RateParams
+{
+    double functional = 1.0;         ///< S_F.
+    double detailed = 1.0 / 60.0;    ///< S_D.
+    double functionalWarming = 0.55; ///< S_FW.
+};
+
+/**
+ * Aggregate rate with detailed warming only: detailed instructions
+ * n*(U+W) at S_D, the rest at S_F. Clamps when the detailed portion
+ * covers the whole stream (the W -> inf limit is S_D).
+ */
+inline double
+smartsRateDetailedWarming(std::uint64_t N, std::uint64_t n,
+                          std::uint64_t U, std::uint64_t W,
+                          const RateParams &p)
+{
+    const double total = static_cast<double>(N);
+    const double detailed = std::min(
+        total, static_cast<double>(n) * static_cast<double>(U + W));
+    const double rest = total - detailed;
+    return total / (detailed / p.detailed + rest / p.functional);
+}
+
+/**
+ * Aggregate rate with functional warming: the non-detailed portion
+ * runs at S_FW instead of S_F, and W stays bounded small.
+ */
+inline double
+smartsRateFunctionalWarming(std::uint64_t N, std::uint64_t n,
+                            std::uint64_t U, std::uint64_t W,
+                            const RateParams &p)
+{
+    const double total = static_cast<double>(N);
+    const double detailed = std::min(
+        total, static_cast<double>(n) * static_cast<double>(U + W));
+    const double rest = total - detailed;
+    return total / (detailed / p.detailed + rest / p.functionalWarming);
+}
+
+/** Speedup of a SMARTS run at @p rate over full detailed simulation. */
+inline double
+speedupOverDetailed(double rate, const RateParams &p)
+{
+    return rate / p.detailed;
+}
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_PERF_MODEL_HH

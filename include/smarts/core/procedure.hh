@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SmartsProcedure: the paper's two-pass recipe (Figure 9 /
+ * Section 5.1). Run once with a generic n_init; if the measured
+ * coefficient of variation leaves the confidence interval wider
+ * than the target, size n_tuned = ((z * V-hat) / epsilon)^2 from
+ * the measurement and run a second, properly sized pass.
+ */
+
+#ifndef SMARTS_CORE_PROCEDURE_HH
+#define SMARTS_CORE_PROCEDURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/sampler.hh"
+#include "stats/confidence.hh"
+
+namespace smarts::core {
+
+struct ProcedureConfig
+{
+    std::uint64_t unitSize = 1000;
+    std::uint64_t detailedWarming = 2000;
+    WarmingMode warming = WarmingMode::Functional;
+    stats::ConfidenceSpec target{};
+    std::uint64_t nInit = 10'000; ///< the paper's generic first n.
+};
+
+struct ProcedureResult
+{
+    SmartsEstimate initial;
+    std::optional<SmartsEstimate> tuned;
+    std::uint64_t recommendedN = 0; ///< n_tuned from the initial V-hat.
+
+    bool
+    metOnFirstTry() const
+    {
+        return !tuned.has_value();
+    }
+
+    const SmartsEstimate &
+    final() const
+    {
+        return tuned ? *tuned : initial;
+    }
+};
+
+class SmartsProcedure
+{
+  public:
+    using SessionFactory =
+        std::function<std::unique_ptr<SimSession>()>;
+
+    explicit SmartsProcedure(const ProcedureConfig &config);
+
+    /**
+     * Run the two-pass procedure over fresh sessions from
+     * @p factory; @p streamLength is the benchmark's known length
+     * (one functional pass, or a prior reference).
+     */
+    ProcedureResult estimate(const SessionFactory &factory,
+                             std::uint64_t streamLength) const;
+
+  private:
+    ProcedureConfig config_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_PROCEDURE_HH

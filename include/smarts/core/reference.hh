@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ReferenceRunner: full-stream detailed simulation, cached per
+ * benchmark, recording CPI at a fine chunk granularity so the
+ * coefficient of variation V_CPI(U) can be evaluated at any unit
+ * size afterwards (the measurement behind the paper's Figures 2-5).
+ */
+
+#ifndef SMARTS_CORE_REFERENCE_HH
+#define SMARTS_CORE_REFERENCE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+namespace smarts::core {
+
+struct ReferenceResult
+{
+    double cpi = 0.0;
+    double epi = 0.0; ///< nanojoules per instruction.
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    /** Per-chunk detailed cycles, chunkSize instructions per chunk. */
+    std::uint64_t chunkSize = 10;
+    std::vector<float> chunkCycles;
+};
+
+/**
+ * V_CPI at sampling-unit size @p unitSize, from the reference's
+ * chunk trace (complete units only; 0 when fewer than two units).
+ * Granularity is ref.chunkSize: @p unitSize is rounded down to a
+ * chunk multiple (and up to one chunk minimum), so ask for
+ * multiples of chunkSize when exact unit sizes matter.
+ */
+double cvAtUnitSize(const ReferenceResult &ref, std::uint64_t unitSize);
+
+class ReferenceRunner
+{
+  public:
+    ReferenceRunner(workloads::Scale scale,
+                    const uarch::MachineConfig &config);
+
+    /**
+     * Full detailed simulation of @p spec (at the runner's scale and
+     * machine), cached per benchmark name for the runner's lifetime.
+     */
+    const ReferenceResult &get(const workloads::BenchmarkSpec &spec);
+
+  private:
+    workloads::Scale scale_;
+    uarch::MachineConfig config_;
+    std::map<std::string, ReferenceResult> cache_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_REFERENCE_HH

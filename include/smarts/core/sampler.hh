@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SystematicSampler: the paper's U/W/k sampling-unit geometry. The
+ * stream is viewed as N = length/U contiguous units; every k-th
+ * unit (starting at unit index `offset`, the paper's random or
+ * phase-swept j) is measured in detail, preceded by W instructions
+ * of detailed warming; everything between is fast-forwarded in the
+ * configured warming mode. The result is a SmartsEstimate: per-unit
+ * CPI/EPI statistics with the paper's confidence intervals.
+ */
+
+#ifndef SMARTS_CORE_SAMPLER_HH
+#define SMARTS_CORE_SAMPLER_HH
+
+#include <cstdint>
+
+#include "core/session.hh"
+#include "stats/confidence.hh"
+#include "stats/online_stats.hh"
+
+namespace smarts::core {
+
+struct SamplingConfig
+{
+    std::uint64_t unitSize = 1000;      ///< U.
+    std::uint64_t detailedWarming = 2000; ///< W.
+    std::uint64_t interval = 10;        ///< k, in units.
+    std::uint64_t offset = 0;           ///< first measured unit index.
+    WarmingMode warming = WarmingMode::Functional;
+
+    /**
+     * Pick k so that roughly @p targetUnits units of @p unitSize are
+     * measured out of a @p totalInsts stream (never below 1).
+     */
+    static std::uint64_t
+    chooseInterval(std::uint64_t totalInsts, std::uint64_t unitSize,
+                   std::uint64_t targetUnits)
+    {
+        const std::uint64_t units =
+            unitSize ? totalInsts / unitSize : 0;
+        if (!targetUnits || units <= targetUnits)
+            return 1;
+        return units / targetUnits;
+    }
+};
+
+/** A sampled estimate of CPI and EPI with confidence intervals. */
+struct SmartsEstimate
+{
+    stats::OnlineStats cpiStats; ///< per-unit CPI observations.
+    stats::OnlineStats epiStats; ///< per-unit EPI observations (nJ).
+    std::uint64_t instructionsMeasured = 0;
+    std::uint64_t instructionsWarmed = 0; ///< detailed warming insts.
+    std::uint64_t streamLength = 0;
+
+    std::uint64_t
+    units() const
+    {
+        return cpiStats.count();
+    }
+
+    double
+    cpi() const
+    {
+        return cpiStats.mean();
+    }
+
+    double
+    epi() const
+    {
+        return epiStats.mean();
+    }
+
+    double
+    cpiCv() const
+    {
+        return cpiStats.cv();
+    }
+
+    double
+    epiCv() const
+    {
+        return epiStats.cv();
+    }
+
+    /** Relative CI half-width at @p level (Eq. 2). */
+    double
+    cpiConfidenceInterval(double level) const
+    {
+        return stats::confidenceHalfWidth(cpiCv(), units(), level);
+    }
+
+    double
+    epiConfidenceInterval(double level) const
+    {
+        return stats::confidenceHalfWidth(epiCv(), units(), level);
+    }
+
+    /** Fraction of the stream simulated in detail (measure + warm). */
+    double
+    detailedFraction() const
+    {
+        return streamLength
+                   ? static_cast<double>(instructionsMeasured +
+                                         instructionsWarmed) /
+                         static_cast<double>(streamLength)
+                   : 0.0;
+    }
+};
+
+class SystematicSampler
+{
+  public:
+    explicit SystematicSampler(const SamplingConfig &config);
+
+    /** Run the session to end of stream, sampling systematically. */
+    SmartsEstimate run(SimSession &session) const;
+
+  private:
+    SamplingConfig config_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_SAMPLER_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SimSession: one benchmark bound to one machine, executable in the
+ * three speeds the paper's rate model names — pure functional
+ * (S_F, fastForward with WarmingMode::None), functional warming
+ * (S_FW, fastForward updating caches/TLBs/predictors in program
+ * order), and detailed (S_D, detailedRun with the full timing and
+ * energy model). All modes share one architectural and one
+ * microarchitectural state, so interleaving them implements the
+ * SMARTS measurement cycle.
+ */
+
+#ifndef SMARTS_CORE_SESSION_HH
+#define SMARTS_CORE_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/branch_unit.hh"
+#include "mem/hierarchy.hh"
+#include "sisa/encoding.hh"
+#include "uarch/config.hh"
+#include "workloads/program.hh"
+
+namespace smarts::core {
+
+/** What state fast-forwarding keeps warm (paper Section 4). */
+enum class WarmingMode
+{
+    None,       ///< architectural state only (plain fast-forward).
+    CachesOnly, ///< caches + TLBs, predictors stale.
+    BpredOnly,  ///< predictors, caches stale.
+    Functional, ///< the paper's functional warming: everything.
+};
+
+/** One detailed-simulation segment's measurements. */
+struct Segment
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double energyNj = 0.0;
+};
+
+/** Cumulative event counters (all modes). */
+struct Activity
+{
+    std::uint64_t branches = 0;
+    std::uint64_t bpredLookups = 0;
+    std::uint64_t bpredMispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+class SimSession
+{
+  public:
+    SimSession(const workloads::BenchmarkSpec &spec,
+               const uarch::MachineConfig &config);
+
+    /**
+     * Execute up to @p maxInsts functionally, warming per @p mode.
+     * Returns the number of instructions executed by this call
+     * (less than @p maxInsts only at end of stream).
+     */
+    std::uint64_t fastForward(std::uint64_t maxInsts, WarmingMode mode);
+
+    /** Execute up to @p maxInsts with the detailed timing model. */
+    Segment detailedRun(std::uint64_t maxInsts);
+
+    /**
+     * Functional profiling pass to end of stream: per-interval
+     * basic-block vectors projected into @p dims buckets (the
+     * SimPoint front end). Intervals are @p intervalSize
+     * instructions; a final partial interval is dropped.
+     */
+    std::vector<std::vector<double>>
+    profileBbvs(std::uint64_t intervalSize, std::size_t dims);
+
+    bool
+    finished() const
+    {
+        return finished_;
+    }
+
+    /** Instructions executed so far, all modes. */
+    std::uint64_t
+    instCount() const
+    {
+        return instCount_;
+    }
+
+    /** Exact detailed cycles so far (fractional issue slots kept). */
+    double
+    cycleCount() const
+    {
+        return cycles_;
+    }
+
+    /** Detailed energy so far, nanojoules. */
+    double
+    energyCount() const
+    {
+        return energyNj_;
+    }
+
+    const Activity &
+    activity() const
+    {
+        return activity_;
+    }
+
+    std::uint32_t
+    pc() const
+    {
+        return pc_;
+    }
+
+    const uarch::MachineConfig &
+    config() const
+    {
+        return config_;
+    }
+
+  private:
+    struct StepInfo
+    {
+        sisa::DecodedInst di;
+        std::uint32_t pc = 0;       ///< pc of the executed inst.
+        std::uint32_t memAddr = 0;  ///< valid when di.isMem().
+        bool taken = false;         ///< valid when di.isBranch().
+        std::uint32_t nextPc = 0;
+    };
+
+    /** Execute one instruction architecturally. False at HALT/end. */
+    bool step(StepInfo &info);
+
+    std::uint32_t loadWord(std::uint32_t addr) const;
+    void storeWord(std::uint32_t addr, std::uint32_t value);
+
+    uarch::MachineConfig config_;
+    workloads::Program program_;
+    std::vector<sisa::DecodedInst> decoded_; ///< predecoded code.
+    std::uint32_t dataMask_;
+
+    std::uint32_t regs_[32] = {};
+    std::uint32_t pc_;
+    bool finished_ = false;
+
+    mem::MemHierarchy hierarchy_;
+    bpred::BranchUnit bpred_;
+
+    std::uint64_t instCount_ = 0;
+    double cycles_ = 0.0;
+    double energyNj_ = 0.0;
+    std::uint32_t fetchLineShift_ = 6; ///< log2(L1I line bytes).
+    std::uint32_t lastFetchLine_ = ~0u;
+    Activity activity_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_SESSION_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Two-level memory hierarchy with split L1s, a unified L2 and split
+ * fully-associative TLBs. Timing accesses (fetch/load/store) return
+ * the latency and the level that served the request; warm accesses
+ * (warmFetch/warmLoad/warmStore) update the identical state with no
+ * timing — that distinction is the heart of functional warming.
+ */
+
+#ifndef SMARTS_MEM_HIERARCHY_HH
+#define SMARTS_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace smarts::mem {
+
+struct TlbConfig
+{
+    std::uint32_t entries = 64;
+    std::uint32_t pageBytes = 4096;
+    std::uint32_t missLatency = 30;
+};
+
+struct HierarchyConfig
+{
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+    TlbConfig itlb;
+    TlbConfig dtlb;
+    std::uint32_t memLatency = 80;
+};
+
+/** Which level served a timing access. */
+enum class ServedBy : std::uint8_t
+{
+    L1 = 1,
+    L2 = 2,
+    Memory = 3,
+};
+
+struct MemResult
+{
+    std::uint32_t latency = 0;
+    ServedBy level = ServedBy::L1;
+    bool tlbMiss = false;
+};
+
+/** Tiny fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config) : config_(config)
+    {
+        pages_.assign(config.entries, 0);
+        valid_.assign(config.entries, 0);
+        lastUse_.assign(config.entries, 0);
+    }
+
+    /** Returns true on a miss (and fills). */
+    bool
+    access(std::uint32_t addr)
+    {
+        const std::uint32_t page = addr / config_.pageBytes;
+        ++tick_;
+        std::size_t victim = 0;
+        std::uint64_t oldest = ~0ull;
+        for (std::size_t i = 0; i < pages_.size(); ++i) {
+            if (valid_[i] && pages_[i] == page) {
+                lastUse_[i] = tick_;
+                return false;
+            }
+            if (lastUse_[i] < oldest) {
+                oldest = lastUse_[i];
+                victim = i;
+            }
+        }
+        ++misses_;
+        pages_[victim] = page;
+        valid_[victim] = 1;
+        lastUse_[victim] = tick_;
+        return true;
+    }
+
+    void
+    reset()
+    {
+        std::fill(valid_.begin(), valid_.end(), 0);
+        std::fill(lastUse_.begin(), lastUse_.end(), 0);
+        tick_ = misses_ = 0;
+    }
+
+    std::uint64_t misses() const { return misses_; }
+    const TlbConfig &config() const { return config_; }
+
+  private:
+    TlbConfig config_;
+    std::vector<std::uint32_t> pages_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> lastUse_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyConfig &config)
+        : config_(config),
+          l1i_("l1i", config.l1i),
+          l1d_("l1d", config.l1d),
+          l2_("l2", config.l2),
+          itlb_(config.itlb),
+          dtlb_(config.dtlb)
+    {
+    }
+
+    MemResult
+    fetch(std::uint32_t addr)
+    {
+        return timingAccess(l1i_, itlb_, addr, false);
+    }
+
+    MemResult
+    load(std::uint32_t addr)
+    {
+        return timingAccess(l1d_, dtlb_, addr, false);
+    }
+
+    MemResult
+    store(std::uint32_t addr)
+    {
+        return timingAccess(l1d_, dtlb_, addr, true);
+    }
+
+    void
+    warmFetch(std::uint32_t addr)
+    {
+        warmAccess(l1i_, itlb_, addr, false);
+    }
+
+    void
+    warmLoad(std::uint32_t addr)
+    {
+        warmAccess(l1d_, dtlb_, addr, false);
+    }
+
+    void
+    warmStore(std::uint32_t addr)
+    {
+        warmAccess(l1d_, dtlb_, addr, true);
+    }
+
+    void
+    reset()
+    {
+        l1i_.reset();
+        l1d_.reset();
+        l2_.reset();
+        itlb_.reset();
+        dtlb_.reset();
+    }
+
+    const HierarchyConfig &config() const { return config_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Tlb &itlb() const { return itlb_; }
+    const Tlb &dtlb() const { return dtlb_; }
+
+  private:
+    MemResult
+    timingAccess(Cache &l1, Tlb &tlb, std::uint32_t addr, bool write)
+    {
+        MemResult result;
+        result.tlbMiss = tlb.access(addr);
+        result.latency =
+            result.tlbMiss ? tlb.config().missLatency : 0;
+        result.latency += l1.config().latency;
+        if (l1.access(addr, write).hit) {
+            result.level = ServedBy::L1;
+        } else if (l2_.access(addr, write).hit) {
+            result.level = ServedBy::L2;
+            result.latency += config_.l2.latency;
+        } else {
+            result.level = ServedBy::Memory;
+            result.latency += config_.l2.latency + config_.memLatency;
+        }
+        return result;
+    }
+
+    void
+    warmAccess(Cache &l1, Tlb &tlb, std::uint32_t addr, bool write)
+    {
+        tlb.access(addr);
+        if (!l1.access(addr, write).hit)
+            l2_.access(addr, write);
+    }
+
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Tlb itlb_;
+    Tlb dtlb_;
+};
+
+} // namespace smarts::mem
+
+#endif // SMARTS_MEM_HIERARCHY_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * k-means with k-means++ seeding and the SimPoint/X-means BIC
+ * criterion for choosing k: sweep k = 1..maxK and keep the smallest
+ * k whose BIC reaches 90% of the best (Sherwood et al.'s rule).
+ */
+
+#ifndef SMARTS_SIMPOINT_KMEANS_HH
+#define SMARTS_SIMPOINT_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace smarts::simpoint {
+
+struct Clustering
+{
+    unsigned k = 0;
+    std::vector<std::uint32_t> assignment; ///< per input point.
+    std::vector<std::vector<double>> centroids;
+    double bic = 0.0;
+
+    /** Number of clusters (container-style accessor). */
+    std::size_t
+    size() const
+    {
+        return k;
+    }
+};
+
+/** One Lloyd run at fixed @p k (k-means++ init from @p rng). */
+Clustering kmeans(const std::vector<std::vector<double>> &points,
+                  unsigned k, Xoshiro256StarStar &rng);
+
+/** Sweep k = 1..maxK, return the BIC-chosen clustering. */
+Clustering kmeansSweep(const std::vector<std::vector<double>> &points,
+                       unsigned maxK, Xoshiro256StarStar &rng);
+
+} // namespace smarts::simpoint
+
+#endif // SMARTS_SIMPOINT_KMEANS_HH

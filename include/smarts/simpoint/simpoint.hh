@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SimPoint baseline (Sherwood et al., ASPLOS '02), the methodology
+ * the paper's Figure 8 compares against: profile basic-block
+ * vectors per interval, cluster them, simulate one representative
+ * interval per cluster (cold-started, as published), and report the
+ * weighted CPI — a point estimate with no confidence interval.
+ */
+
+#ifndef SMARTS_SIMPOINT_SIMPOINT_HH
+#define SMARTS_SIMPOINT_SIMPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/session.hh"
+#include "simpoint/kmeans.hh"
+
+namespace smarts::simpoint {
+
+struct SimPointConfig
+{
+    std::uint64_t intervalSize = 100'000;
+    unsigned maxK = 10;
+    std::size_t bbvDims = 32; ///< projected BBV dimensionality.
+    std::uint64_t seed = 42;  ///< clustering seed.
+};
+
+struct SimPointSelection
+{
+    unsigned k = 0;
+    std::vector<std::uint64_t> intervals; ///< chosen interval indices.
+    std::vector<double> weights;          ///< cluster weights.
+};
+
+struct SimPointEstimate
+{
+    double cpi = 0.0;
+    std::uint64_t instructionsDetailed = 0;
+    SimPointSelection selection;
+};
+
+/**
+ * Full SimPoint flow over fresh sessions from @p factory: one
+ * functional profiling pass, clustering, then one detailed pass
+ * visiting the representative intervals in stream order.
+ */
+SimPointEstimate
+runSimPoint(const std::function<std::unique_ptr<core::SimSession>()>
+                &factory,
+            const SimPointConfig &config);
+
+} // namespace smarts::simpoint
+
+#endif // SMARTS_SIMPOINT_SIMPOINT_HH

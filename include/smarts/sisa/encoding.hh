@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SISA: the tiny deterministic RISC ISA the synthetic workloads are
+ * compiled to. 32-bit fixed-width instructions:
+ *
+ *   R-type  op:6 | a:5 | b:5 | c:5 | 0:11     (a = dest, b/c = srcs)
+ *   I-type  op:6 | a:5 | b:5 | imm:16 signed
+ *
+ * Conventions: register 0 reads as zero; branch/jump immediates are
+ * byte offsets relative to the branch's own PC; LD/ST address is
+ * regs[b] + imm with a = data register; JAL links into a and JR
+ * jumps to regs[a] (a return when a reads a link saved in r31).
+ */
+
+#ifndef SMARTS_SISA_ENCODING_HH
+#define SMARTS_SISA_ENCODING_HH
+
+#include <cstdint>
+
+namespace smarts::sisa {
+
+enum class Opcode : std::uint8_t
+{
+    // R-type.
+    ADD,
+    SUB,
+    MUL,
+    AND,
+    OR,
+    XOR,
+    SLT,
+    // I-type ALU.
+    ADDI,
+    ANDI,
+    ORI,
+    SHLI,
+    SHRI,
+    LUI,
+    // Memory.
+    LD,
+    ST,
+    // Control.
+    BEQ,
+    BNE,
+    BLT,
+    BGE,
+    JAL,
+    JR,
+    HALT,
+    NOP,
+    kCount,
+};
+
+constexpr bool
+isRType(Opcode op)
+{
+    return op == Opcode::ADD || op == Opcode::SUB || op == Opcode::MUL ||
+           op == Opcode::AND || op == Opcode::OR || op == Opcode::XOR ||
+           op == Opcode::SLT;
+}
+
+struct DecodedInst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    std::uint8_t c = 0;
+    std::int32_t imm = 0;
+
+    constexpr bool
+    isCondBranch() const
+    {
+        return op == Opcode::BEQ || op == Opcode::BNE ||
+               op == Opcode::BLT || op == Opcode::BGE;
+    }
+
+    constexpr bool
+    isJump() const
+    {
+        return op == Opcode::JAL || op == Opcode::JR;
+    }
+
+    constexpr bool
+    isBranch() const
+    {
+        return isCondBranch() || isJump();
+    }
+
+    constexpr bool
+    isLoad() const
+    {
+        return op == Opcode::LD;
+    }
+
+    constexpr bool
+    isStore() const
+    {
+        return op == Opcode::ST;
+    }
+
+    constexpr bool
+    isMem() const
+    {
+        return isLoad() || isStore();
+    }
+
+    /** Static target of a PC-relative branch/JAL at @p pc. */
+    constexpr std::uint32_t
+    branchTarget(std::uint32_t pc) const
+    {
+        return pc + static_cast<std::uint32_t>(imm);
+    }
+};
+
+constexpr std::uint32_t
+encode(Opcode op, unsigned a, unsigned b, unsigned c, int imm)
+{
+    std::uint32_t word = (static_cast<std::uint32_t>(op) << 26) |
+                         ((a & 31u) << 21) | ((b & 31u) << 16);
+    if (isRType(op))
+        word |= (c & 31u) << 11;
+    else
+        word |= static_cast<std::uint32_t>(imm) & 0xffffu;
+    return word;
+}
+
+constexpr DecodedInst
+decode(std::uint32_t word)
+{
+    DecodedInst di;
+    di.op = static_cast<Opcode>((word >> 26) & 63u);
+    di.a = static_cast<std::uint8_t>((word >> 21) & 31u);
+    di.b = static_cast<std::uint8_t>((word >> 16) & 31u);
+    if (isRType(di.op)) {
+        di.c = static_cast<std::uint8_t>((word >> 11) & 31u);
+    } else {
+        // Sign-extend the 16-bit immediate.
+        di.imm = static_cast<std::int16_t>(word & 0xffffu);
+    }
+    return di;
+}
+
+} // namespace smarts::sisa
+
+#endif // SMARTS_SISA_ENCODING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Confidence-interval math from the paper's Section 2 (Eq. 1-3).
+ *
+ * For n sampled units with coefficient of variation V, the
+ * (1 - alpha) confidence interval around the sample mean is
+ * +/- z * V / sqrt(n) of the mean (Eq. 2); inverting gives the
+ * minimum sample size n >= ((z * V) / epsilon)^2 for a target
+ * relative half-width epsilon (Eq. 3).
+ */
+
+#ifndef SMARTS_STATS_CONFIDENCE_HH
+#define SMARTS_STATS_CONFIDENCE_HH
+
+#include <cstdint>
+
+namespace smarts::stats {
+
+/** A confidence target: level (e.g. 0.997) and relative error. */
+struct ConfidenceSpec
+{
+    double level = 0.997;
+    double epsilon = 0.03;
+
+    /** 95% +/- 3%: the paper's relaxed target. */
+    static ConfidenceSpec
+    ninetyFive3pct()
+    {
+        return {0.95, 0.03};
+    }
+
+    /** 99.7% +/- 3%: the paper's headline target. */
+    static ConfidenceSpec
+    virtuallyCertain3pct()
+    {
+        return {0.997, 0.03};
+    }
+
+    /** 99.7% +/- 1%: the paper's tight target. */
+    static ConfidenceSpec
+    virtuallyCertain1pct()
+    {
+        return {0.997, 0.01};
+    }
+};
+
+/**
+ * Two-sided critical value z for a confidence level in (0, 1):
+ * the (1 - alpha/2) quantile of the standard normal.
+ */
+double zScore(double level);
+
+/**
+ * Relative confidence-interval half-width z * cv / sqrt(n) (Eq. 2).
+ * Returns 0 for n = 0.
+ */
+double confidenceHalfWidth(double cv, std::uint64_t n, double level);
+
+/**
+ * Minimum sample size meeting @p spec for a measured coefficient of
+ * variation @p cv (Eq. 3), never less than 2.
+ */
+std::uint64_t requiredSampleSize(double cv, const ConfidenceSpec &spec);
+
+} // namespace smarts::stats
+
+#endif // SMARTS_STATS_CONFIDENCE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Numerically stable single-pass mean/variance accumulator
+ * (Welford's algorithm). The per-unit CPI/EPI observations of a
+ * SMARTS run feed one of these; its coefficient of variation drives
+ * the paper's confidence-interval math (stats/confidence.hh).
+ */
+
+#ifndef SMARTS_STATS_ONLINE_STATS_HH
+#define SMARTS_STATS_ONLINE_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace smarts::stats {
+
+class OnlineStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_;
+    }
+
+    double
+    mean() const
+    {
+        return count_ ? mean_ : 0.0;
+    }
+
+    /** Sample variance (n-1 denominator). */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double
+    stddev() const
+    {
+        return std::sqrt(variance());
+    }
+
+    /** Coefficient of variation, stddev/mean (0 when mean is 0). */
+    double
+    cv() const
+    {
+        return mean() != 0.0 ? stddev() / std::fabs(mean()) : 0.0;
+    }
+
+    /** Standard error of the mean. */
+    double
+    meanError() const
+    {
+        return count_ ? stddev() / std::sqrt(static_cast<double>(count_))
+                      : 0.0;
+    }
+
+    void
+    merge(const OnlineStats &other)
+    {
+        if (!other.count_)
+            return;
+        if (!count_) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const double na = static_cast<double>(count_);
+        const double nb = static_cast<double>(other.count_);
+        const double n = na + nb;
+        mean_ += delta * nb / n;
+        m2_ += other.m2_ + delta * delta * na * nb / n;
+        count_ += other.count_;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+} // namespace smarts::stats
+
+#endif // SMARTS_STATS_ONLINE_STATS_HH

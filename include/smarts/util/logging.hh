@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal logging helpers: SMARTS_FATAL aborts with a formatted
+ * message, SMARTS_LOG writes a tagged line to stderr. Both accept a
+ * comma-separated list of streamable arguments.
+ */
+
+#ifndef SMARTS_UTIL_LOGGING_HH
+#define SMARTS_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace smarts::log {
+
+inline void
+append(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+append(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    append(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    append(os, args...);
+    return os.str();
+}
+
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    std::cerr << "smarts: fatal: " << message << std::endl;
+    std::exit(1);
+}
+
+} // namespace smarts::log
+
+#define SMARTS_FATAL(...)                                               \
+    ::smarts::log::fatal(::smarts::log::format(__VA_ARGS__))
+
+#define SMARTS_LOG(...)                                                 \
+    (std::cerr << "smarts: " << ::smarts::log::format(__VA_ARGS__)      \
+               << std::endl)
+
+#endif // SMARTS_UTIL_LOGGING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * xoshiro256** pseudo-random generator (Blackman & Vigna). Fast,
+ * deterministic across platforms, and good enough statistically for
+ * workload synthesis and k-means seeding. Seeded through splitmix64
+ * so small integer seeds give well-mixed states.
+ */
+
+#ifndef SMARTS_UTIL_RNG_HH
+#define SMARTS_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace smarts {
+
+/** splitmix64 finalizer: a cheap, well-mixed 64-bit hash. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+class Xoshiro256StarStar
+{
+  public:
+    explicit Xoshiro256StarStar(std::uint64_t seed = 1)
+    {
+        // splitmix64 state expansion.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            word = mix64(x);
+            x += 0x9e3779b97f4a7c15ull;
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound = 0 yields 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Multiply-shift range reduction; the slight modulo bias is
+        // irrelevant at the bounds used here.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace smarts
+
+#endif // SMARTS_UTIL_RNG_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A compiled workload: SISA code, initial data image, and the
+ * address-space layout the interpreter and caches share. Programs
+ * are generated deterministically from a BenchmarkSpec, so every
+ * session over the same spec replays the identical instruction
+ * stream — the property systematic sampling and the full-stream
+ * reference both depend on.
+ */
+
+#ifndef SMARTS_WORKLOADS_PROGRAM_HH
+#define SMARTS_WORKLOADS_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/benchmark.hh"
+
+namespace smarts::workloads {
+
+/** Code is fetched from this byte address upward. */
+constexpr std::uint32_t kCodeBase = 0x1000;
+
+/** Data lives at this byte address; dataBytes is a power of two. */
+constexpr std::uint32_t kDataBase = 0x0100'0000;
+
+struct Program
+{
+    std::vector<std::uint32_t> code;  ///< one word per instruction.
+    std::vector<std::uint32_t> data;  ///< word-indexed initial image.
+    std::uint32_t dataBytes = 0;      ///< power-of-two footprint.
+    std::uint32_t entryPc = kCodeBase;
+};
+
+/** Generate the program for a benchmark spec (deterministic). */
+Program buildProgram(const BenchmarkSpec &spec);
+
+} // namespace smarts::workloads
+
+#endif // SMARTS_WORKLOADS_PROGRAM_HH

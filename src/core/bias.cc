@@ -1,0 +1,46 @@
+#include "core/bias.hh"
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+BiasResult
+measureBias(const std::function<std::unique_ptr<SimSession>()> &factory,
+            const SamplingConfig &config, int phases,
+            double referenceCpi)
+{
+    if (phases < 1)
+        SMARTS_FATAL("measureBias needs at least one phase");
+    if (referenceCpi <= 0.0)
+        SMARTS_FATAL("measureBias needs a positive reference CPI");
+
+    BiasResult result;
+    result.referenceCpi = referenceCpi;
+
+    double sum = 0.0;
+    int counted = 0;
+    for (int p = 0; p < phases; ++p) {
+        SamplingConfig phased = config;
+        phased.offset =
+            (static_cast<std::uint64_t>(p) * config.interval) /
+            static_cast<std::uint64_t>(phases);
+        auto session = factory();
+        const SmartsEstimate est =
+            SystematicSampler(phased).run(*session);
+        if (!est.units())
+            continue;
+        result.phaseCpi.push_back(est.cpi());
+        sum += est.cpi();
+        ++counted;
+    }
+    if (!counted)
+        SMARTS_FATAL("measureBias: no phase produced any sampled "
+                     "units (stream too short for the unit/interval "
+                     "geometry)");
+    result.meanEstimatedCpi = sum / counted;
+    result.relativeBias =
+        (result.meanEstimatedCpi - referenceCpi) / referenceCpi;
+    return result;
+}
+
+} // namespace smarts::core

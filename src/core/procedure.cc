@@ -1,0 +1,47 @@
+#include "core/procedure.hh"
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+SmartsProcedure::SmartsProcedure(const ProcedureConfig &config)
+    : config_(config)
+{
+    if (!config.nInit)
+        SMARTS_FATAL("procedure nInit must be nonzero");
+}
+
+ProcedureResult
+SmartsProcedure::estimate(const SessionFactory &factory,
+                          std::uint64_t streamLength) const
+{
+    SamplingConfig sc;
+    sc.unitSize = config_.unitSize;
+    sc.detailedWarming = config_.detailedWarming;
+    sc.warming = config_.warming;
+    sc.interval = SamplingConfig::chooseInterval(
+        streamLength, config_.unitSize, config_.nInit);
+
+    ProcedureResult result;
+    {
+        auto session = factory();
+        result.initial = SystematicSampler(sc).run(*session);
+    }
+
+    // Size n_tuned from the measured V-hat (Eq. 3); rerun only when
+    // the initial confidence interval misses the target.
+    result.recommendedN = stats::requiredSampleSize(
+        result.initial.cpiCv(), config_.target);
+    const double ci =
+        result.initial.cpiConfidenceInterval(config_.target.level);
+    if (ci <= config_.target.epsilon)
+        return result;
+
+    sc.interval = SamplingConfig::chooseInterval(
+        streamLength, config_.unitSize, result.recommendedN);
+    auto session = factory();
+    result.tuned = SystematicSampler(sc).run(*session);
+    return result;
+}
+
+} // namespace smarts::core

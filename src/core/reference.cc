@@ -1,0 +1,75 @@
+#include "core/reference.hh"
+
+#include "core/session.hh"
+#include "stats/online_stats.hh"
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+double
+cvAtUnitSize(const ReferenceResult &ref, std::uint64_t unitSize)
+{
+    if (!unitSize || ref.chunkCycles.empty())
+        return 0.0;
+    const std::uint64_t group =
+        std::max<std::uint64_t>(1, unitSize / ref.chunkSize);
+
+    stats::OnlineStats perUnit;
+    const std::uint64_t complete = ref.chunkCycles.size() / group;
+    for (std::uint64_t g = 0; g < complete; ++g) {
+        double cycles = 0;
+        for (std::uint64_t i = 0; i < group; ++i)
+            cycles += ref.chunkCycles[g * group + i];
+        perUnit.add(cycles /
+                    static_cast<double>(group * ref.chunkSize));
+    }
+    return perUnit.count() >= 2 ? perUnit.cv() : 0.0;
+}
+
+ReferenceRunner::ReferenceRunner(workloads::Scale scale,
+                                 const uarch::MachineConfig &config)
+    : scale_(scale), config_(config)
+{
+}
+
+const ReferenceResult &
+ReferenceRunner::get(const workloads::BenchmarkSpec &spec)
+{
+    const auto found = cache_.find(spec.name);
+    if (found != cache_.end())
+        return found->second;
+
+    workloads::BenchmarkSpec scaled = spec;
+    scaled.scale = scale_;
+
+    SimSession session(scaled, config_);
+    ReferenceResult ref;
+    ref.chunkSize = 10;
+
+    double lastCycles = 0.0;
+    while (!session.finished()) {
+        const Segment seg = session.detailedRun(ref.chunkSize);
+        if (!seg.instructions)
+            break;
+        if (seg.instructions == ref.chunkSize) {
+            const double now = session.cycleCount();
+            ref.chunkCycles.push_back(
+                static_cast<float>(now - lastCycles));
+            lastCycles = now;
+        }
+    }
+
+    ref.instructions = session.instCount();
+    ref.cycles = static_cast<std::uint64_t>(session.cycleCount());
+    if (!ref.instructions)
+        SMARTS_FATAL("reference run of '", spec.name,
+                     "' executed no instructions");
+    ref.cpi = session.cycleCount() /
+              static_cast<double>(ref.instructions);
+    ref.epi = session.energyCount() /
+              static_cast<double>(ref.instructions);
+
+    return cache_.emplace(spec.name, std::move(ref)).first->second;
+}
+
+} // namespace smarts::core

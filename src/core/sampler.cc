@@ -1,0 +1,75 @@
+#include "core/sampler.hh"
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+SystematicSampler::SystematicSampler(const SamplingConfig &config)
+    : config_(config)
+{
+    if (!config.unitSize)
+        SMARTS_FATAL("sampling unit size must be nonzero");
+    if (!config.interval)
+        SMARTS_FATAL("sampling interval must be nonzero");
+}
+
+SmartsEstimate
+SystematicSampler::run(SimSession &session) const
+{
+    const std::uint64_t u = config_.unitSize;
+    const std::uint64_t w = config_.detailedWarming;
+    const std::uint64_t k = config_.interval;
+
+    SmartsEstimate est;
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config_.offset;
+
+    while (!session.finished()) {
+        const std::uint64_t unitStart = unitIdx * u;
+        if (unitStart < pos) {
+            // Offset landed behind the current position (resumed
+            // sessions); skip to the next unit on the grid.
+            unitIdx += k;
+            continue;
+        }
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+
+        // Fast-forward the inter-unit gap in the warming mode.
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config_.warming);
+            if (session.finished())
+                break;
+        }
+
+        // Detailed warming W: timing on, measurement discarded.
+        if (unitStart > pos) {
+            const Segment warm = session.detailedRun(unitStart - pos);
+            est.instructionsWarmed += warm.instructions;
+            pos += warm.instructions;
+            if (session.finished())
+                break;
+        }
+
+        // The measured unit.
+        const Segment seg = session.detailedRun(u);
+        est.instructionsMeasured += seg.instructions;
+        pos += seg.instructions;
+        if (seg.instructions == u) {
+            est.cpiStats.add(static_cast<double>(seg.cycles) /
+                             static_cast<double>(u));
+            est.epiStats.add(seg.energyNj /
+                             static_cast<double>(seg.instructions));
+        }
+        unitIdx += k;
+    }
+
+    // Run out the tail so streamLength is the true benchmark length.
+    while (!session.finished())
+        session.fastForward(~0ull >> 1, config_.warming);
+    est.streamLength = session.instCount();
+    return est;
+}
+
+} // namespace smarts::core

@@ -1,0 +1,172 @@
+#include "simpoint/kmeans.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace smarts::simpoint {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+/**
+ * X-means BIC of a clustering under the identical spherical
+ * Gaussian model (Pelleg & Moore).
+ */
+double
+bicScore(const std::vector<std::vector<double>> &points,
+         const Clustering &clustering)
+{
+    const double r = static_cast<double>(points.size());
+    const double m = static_cast<double>(points.front().size());
+    const unsigned k = clustering.k;
+
+    std::vector<double> sizes(k, 0.0);
+    double sumSq = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const unsigned c = clustering.assignment[i];
+        sizes[c] += 1.0;
+        sumSq += sqDist(points[i], clustering.centroids[c]);
+    }
+    const double denom = r > k ? r - k : 1.0;
+    const double variance = std::max(sumSq / denom, 1e-12);
+
+    double loglik = 0.0;
+    for (unsigned c = 0; c < k; ++c)
+        if (sizes[c] > 0)
+            loglik += sizes[c] * std::log(sizes[c] / r);
+    loglik -= r * m / 2.0 * std::log(2.0 * M_PI * variance);
+    loglik -= denom / 2.0;
+
+    const double params = k * (m + 1.0);
+    return loglik - params / 2.0 * std::log(r);
+}
+
+} // namespace
+
+Clustering
+kmeans(const std::vector<std::vector<double>> &points, unsigned k,
+       Xoshiro256StarStar &rng)
+{
+    if (points.empty())
+        SMARTS_FATAL("kmeans called with no points");
+    k = std::min<unsigned>(k, points.size());
+
+    Clustering result;
+    result.k = k;
+    result.assignment.assign(points.size(), 0);
+
+    // k-means++ seeding.
+    result.centroids.push_back(points[rng.below(points.size())]);
+    std::vector<double> best(points.size(),
+                             std::numeric_limits<double>::max());
+    while (result.centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            best[i] = std::min(
+                best[i], sqDist(points[i], result.centroids.back()));
+            total += best[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with chosen centroids.
+            result.centroids.push_back(
+                points[rng.below(points.size())]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            pick -= best[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        result.centroids.push_back(points[chosen]);
+    }
+
+    // Lloyd iterations.
+    for (int iter = 0; iter < 100; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            unsigned nearest = 0;
+            double nearestDist =
+                std::numeric_limits<double>::max();
+            for (unsigned c = 0; c < k; ++c) {
+                const double d =
+                    sqDist(points[i], result.centroids[c]);
+                if (d < nearestDist) {
+                    nearestDist = d;
+                    nearest = c;
+                }
+            }
+            if (result.assignment[i] != nearest) {
+                result.assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        const std::size_t dims = points.front().size();
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const unsigned c = result.assignment[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (unsigned c = 0; c < k; ++c) {
+            if (!counts[c])
+                continue; // empty cluster keeps its centroid.
+            for (std::size_t d = 0; d < dims; ++d)
+                sums[c][d] /= static_cast<double>(counts[c]);
+            result.centroids[c] = std::move(sums[c]);
+        }
+    }
+
+    result.bic = bicScore(points, result);
+    return result;
+}
+
+Clustering
+kmeansSweep(const std::vector<std::vector<double>> &points,
+            unsigned maxK, Xoshiro256StarStar &rng)
+{
+    if (points.empty())
+        SMARTS_FATAL("kmeansSweep called with no points");
+    maxK = std::max(1u,
+                    std::min<unsigned>(maxK, points.size()));
+
+    std::vector<Clustering> runs;
+    double bestBic = -std::numeric_limits<double>::max();
+    for (unsigned k = 1; k <= maxK; ++k) {
+        runs.push_back(kmeans(points, k, rng));
+        bestBic = std::max(bestBic, runs.back().bic);
+    }
+
+    // SimPoint's rule: the smallest k scoring >= 90% of the best
+    // BIC (BIC is negative here, so "within 10% below" means a
+    // threshold shifted toward the best score).
+    const double worst = runs.front().bic;
+    const double threshold = bestBic - 0.1 * std::fabs(bestBic - worst);
+    for (const Clustering &c : runs)
+        if (c.bic >= threshold)
+            return c;
+    return runs.back();
+}
+
+} // namespace smarts::simpoint

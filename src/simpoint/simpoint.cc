@@ -1,0 +1,119 @@
+#include "simpoint/simpoint.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace smarts::simpoint {
+
+SimPointEstimate
+runSimPoint(const std::function<std::unique_ptr<core::SimSession>()>
+                &factory,
+            const SimPointConfig &config)
+{
+    if (!config.intervalSize)
+        SMARTS_FATAL("SimPoint interval size must be nonzero");
+
+    // Pass 1: functional profiling into projected BBVs.
+    std::vector<std::vector<double>> bbvs;
+    {
+        auto profiler = factory();
+        bbvs = profiler->profileBbvs(config.intervalSize,
+                                     config.bbvDims);
+    }
+    SimPointEstimate est;
+    if (bbvs.empty()) {
+        // Stream shorter than one interval: simulate it whole.
+        auto session = factory();
+        std::uint64_t cycles = 0, insts = 0;
+        while (!session->finished()) {
+            const core::Segment seg =
+                session->detailedRun(1'000'000);
+            cycles += seg.cycles;
+            insts += seg.instructions;
+            if (!seg.instructions)
+                break;
+        }
+        est.cpi = insts ? static_cast<double>(cycles) /
+                              static_cast<double>(insts)
+                        : 0.0;
+        est.instructionsDetailed = insts;
+        est.selection.k = 1;
+        est.selection.intervals = {0};
+        est.selection.weights = {1.0};
+        return est;
+    }
+
+    // Pass 2: cluster and pick per-cluster representatives.
+    Xoshiro256StarStar rng(config.seed);
+    const Clustering clusters =
+        kmeansSweep(bbvs, config.maxK, rng);
+
+    std::vector<std::size_t> sizes(clusters.k, 0);
+    for (const std::uint32_t c : clusters.assignment)
+        ++sizes[c];
+
+    std::vector<std::uint64_t> reps(clusters.k, 0);
+    std::vector<double> repDist(
+        clusters.k, std::numeric_limits<double>::max());
+    for (std::size_t i = 0; i < bbvs.size(); ++i) {
+        const std::uint32_t c = clusters.assignment[i];
+        double d = 0;
+        for (std::size_t j = 0; j < bbvs[i].size(); ++j) {
+            const double diff =
+                bbvs[i][j] - clusters.centroids[c][j];
+            d += diff * diff;
+        }
+        if (d < repDist[c]) {
+            repDist[c] = d;
+            reps[c] = i;
+        }
+    }
+
+    struct Pick
+    {
+        std::uint64_t interval;
+        double weight;
+    };
+    std::vector<Pick> picks;
+    for (unsigned c = 0; c < clusters.k; ++c)
+        if (sizes[c])
+            picks.push_back(
+                {reps[c], static_cast<double>(sizes[c]) /
+                              static_cast<double>(bbvs.size())});
+    std::sort(picks.begin(), picks.end(),
+              [](const Pick &a, const Pick &b) {
+                  return a.interval < b.interval;
+              });
+
+    // Pass 3: one detailed visit per representative, in stream
+    // order, fast-forwarding cold in between (as published:
+    // SimPoint does not warm microarchitectural state).
+    auto session = factory();
+    std::uint64_t pos = 0;
+    double weightedCpi = 0.0;
+    for (const Pick &pick : picks) {
+        const std::uint64_t start =
+            pick.interval * config.intervalSize;
+        if (start > pos)
+            pos += session->fastForward(start - pos,
+                                        core::WarmingMode::None);
+        const core::Segment seg =
+            session->detailedRun(config.intervalSize);
+        pos += seg.instructions;
+        est.instructionsDetailed += seg.instructions;
+        if (seg.instructions)
+            weightedCpi +=
+                pick.weight * (static_cast<double>(seg.cycles) /
+                               static_cast<double>(seg.instructions));
+        est.selection.intervals.push_back(pick.interval);
+        est.selection.weights.push_back(pick.weight);
+    }
+    est.selection.k = static_cast<unsigned>(picks.size());
+    est.cpi = weightedCpi;
+    return est;
+}
+
+} // namespace smarts::simpoint

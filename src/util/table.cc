@@ -1,0 +1,109 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace smarts {
+
+void
+TextTable::cellText(std::string text)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(std::move(text));
+}
+
+TextTable &
+TextTable::add(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cellText(buf);
+    return *this;
+}
+
+TextTable &
+TextTable::addPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                  fraction * 100.0);
+    cellText(buf);
+    return *this;
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << cell << std::string(widths[c] - cell.size(), ' ');
+            if (c + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths)
+        total += w;
+    os << std::string(total + 2 * (widths.empty() ? 0 : widths.size() - 1),
+                      '-')
+       << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (const char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TextTable::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTS_FATAL("cannot open CSV output '", path, "'");
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out << (c ? "," : "") << csvEscape(headers_[c]);
+    out << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << csvEscape(row[c]);
+        out << '\n';
+    }
+    if (!out)
+        SMARTS_FATAL("error writing CSV output '", path, "'");
+}
+
+} // namespace smarts

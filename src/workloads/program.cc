@@ -1,0 +1,509 @@
+#include "workloads/program.hh"
+
+#include <cstdint>
+
+#include "sisa/encoding.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace smarts::workloads {
+
+namespace {
+
+using sisa::Opcode;
+
+constexpr std::uint32_t kLcgMult = 0x41c64e6d;
+constexpr int kLcgAdd = 12345;
+
+/** Tiny single-pass assembler with back-patching for forward branches. */
+class Asm
+{
+  public:
+    std::vector<std::uint32_t> code;
+
+    std::size_t
+    here() const
+    {
+        return code.size();
+    }
+
+    void
+    op(Opcode o, unsigned a = 0, unsigned b = 0, unsigned c = 0,
+       int imm = 0)
+    {
+        code.push_back(sisa::encode(o, a, b, c, imm));
+    }
+
+    /** Branch with a known (usually backward) target index. */
+    void
+    branchTo(Opcode o, unsigned a, unsigned b, std::size_t target)
+    {
+        const std::ptrdiff_t off =
+            (static_cast<std::ptrdiff_t>(target) -
+             static_cast<std::ptrdiff_t>(here())) *
+            4;
+        if (off < -32768 || off > 32767)
+            SMARTS_FATAL("branch offset ", off, " out of range");
+        op(o, a, b, 0, static_cast<int>(off));
+    }
+
+    /** Forward branch: emit with a hole, patch() later. */
+    std::size_t
+    hole(Opcode o, unsigned a = 0, unsigned b = 0)
+    {
+        const std::size_t at = here();
+        op(o, a, b, 0, 0);
+        return at;
+    }
+
+    void
+    patch(std::size_t at, std::size_t target)
+    {
+        const std::ptrdiff_t off =
+            (static_cast<std::ptrdiff_t>(target) -
+             static_cast<std::ptrdiff_t>(at)) *
+            4;
+        if (off < -32768 || off > 32767)
+            SMARTS_FATAL("patched branch offset ", off, " out of range");
+        code[at] = (code[at] & 0xffff0000u) |
+                   (static_cast<std::uint32_t>(off) & 0xffffu);
+    }
+
+    /** Unconditional jump (always-taken BEQ r0, r0). */
+    void
+    jumpTo(std::size_t target)
+    {
+        branchTo(Opcode::BEQ, 0, 0, target);
+    }
+
+    /** Load a 32-bit constant (1 or 2 instructions). */
+    void
+    li(unsigned reg, std::uint32_t value)
+    {
+        if (value < 0x8000u) {
+            op(Opcode::ADDI, reg, 0, 0, static_cast<int>(value));
+            return;
+        }
+        op(Opcode::LUI, reg, 0, 0,
+           static_cast<int>(value >> 16));
+        if (value & 0xffffu)
+            op(Opcode::ORI, reg, reg, 0,
+               static_cast<int>(value & 0xffffu));
+    }
+};
+
+std::uint32_t
+nextPow2(std::uint32_t x)
+{
+    std::uint32_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/** Emit: lcg step on rX using multiplier in rA. */
+void
+emitLcg(Asm &a, unsigned rX, unsigned rA)
+{
+    a.op(Opcode::MUL, rX, rX, rA);
+    a.op(Opcode::ADDI, rX, rX, 0, kLcgAdd);
+}
+
+// Register conventions shared by the kernels.
+constexpr unsigned Z = 0;   // hardwired zero
+constexpr unsigned rX = 1;  // LCG state
+constexpr unsigned rA = 2;  // LCG multiplier
+constexpr unsigned rN = 3;  // outer iteration counter
+
+void
+genAlu(Asm &a, const BenchmarkSpec &spec, std::uint64_t budget)
+{
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(budget / 9));
+    a.li(4, 0);
+    const std::size_t loop = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::XOR, 4, 4, rX);
+    a.op(Opcode::SHRI, 5, rX, 0, 13);
+    a.op(Opcode::ADD, 4, 4, 5);
+    a.op(Opcode::AND, 5, rX, 4);
+    a.op(Opcode::OR, 4, 4, 5);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, loop);
+    a.op(Opcode::HALT);
+}
+
+void
+genFsm(Asm &a, Program &prog, const BenchmarkSpec &spec,
+       std::uint64_t budget, Xoshiro256StarStar &rng)
+{
+    const std::uint32_t states = spec.variant == 1 ? 64 : 4096;
+    prog.dataBytes = nextPow2(states * 4 * 4);
+    prog.data.assign(prog.dataBytes / 4, 0);
+    for (std::uint32_t s = 0; s < states; ++s)
+        for (std::uint32_t i = 0; i < 4; ++i)
+            prog.data[s * 4 + i] =
+                static_cast<std::uint32_t>(rng.below(states));
+
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(budget / 11));
+    a.li(4, kDataBase); // table base
+    a.li(5, 0);         // state
+    const std::size_t loop = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::SHRI, 6, rX, 0, 18);
+    a.op(Opcode::ANDI, 6, 6, 0, 3);
+    a.op(Opcode::SHLI, 7, 5, 0, 2);
+    a.op(Opcode::ADD, 7, 7, 6);
+    a.op(Opcode::SHLI, 7, 7, 0, 2);
+    a.op(Opcode::ADD, 8, 4, 7);
+    a.op(Opcode::LD, 5, 8, 0, 0);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, loop);
+    a.op(Opcode::HALT);
+}
+
+void
+genStream(Asm &a, Program &prog, const BenchmarkSpec &spec,
+          std::uint64_t budget, Xoshiro256StarStar &rng)
+{
+    const std::uint32_t words = 32768; // 128KB per array, 3 arrays.
+    prog.dataBytes = nextPow2(3 * words * 4);
+    prog.data.assign(prog.dataBytes / 4, 0);
+    for (std::uint32_t i = 0; i < 2 * words; ++i)
+        prog.data[i] = static_cast<std::uint32_t>(rng.next()) >> 2;
+
+    const std::uint64_t reps =
+        std::max<std::uint64_t>(1, budget / (9ull * words));
+    a.li(8, words);
+    a.li(rN, static_cast<std::uint32_t>(reps));
+    (void)spec;
+    const std::size_t outer = a.here();
+    a.li(4, kDataBase);
+    a.li(5, kDataBase + words * 4);
+    a.li(6, kDataBase + 2 * words * 4);
+    a.li(7, 0);
+    const std::size_t inner = a.here();
+    a.op(Opcode::LD, 9, 4, 0, 0);
+    a.op(Opcode::LD, 10, 5, 0, 0);
+    a.op(Opcode::ADD, 9, 9, 10);
+    a.op(Opcode::ST, 9, 6, 0, 0);
+    a.op(Opcode::ADDI, 4, 4, 0, 4);
+    a.op(Opcode::ADDI, 5, 5, 0, 4);
+    a.op(Opcode::ADDI, 6, 6, 0, 4);
+    a.op(Opcode::ADDI, 7, 7, 0, 1);
+    a.branchTo(Opcode::BLT, 7, 8, inner);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, outer);
+    a.op(Opcode::HALT);
+}
+
+void
+genChase(Asm &a, Program &prog, const BenchmarkSpec &spec,
+         std::uint64_t budget, Xoshiro256StarStar &rng)
+{
+    const std::uint32_t words = 65536; // 256KB ring.
+    prog.dataBytes = words * 4;
+    prog.data.resize(words);
+    // Sattolo's algorithm: a uniformly random single-cycle
+    // permutation, so the chase visits every word.
+    for (std::uint32_t i = 0; i < words; ++i)
+        prog.data[i] = i;
+    for (std::uint32_t i = words - 1; i > 0; --i) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(rng.below(i));
+        std::swap(prog.data[i], prog.data[j]);
+    }
+
+    a.li(4, kDataBase);
+    a.li(5, 0);
+    a.li(rN, static_cast<std::uint32_t>(budget / 5));
+    (void)spec;
+    const std::size_t loop = a.here();
+    a.op(Opcode::SHLI, 6, 5, 0, 2);
+    a.op(Opcode::ADD, 6, 4, 6);
+    a.op(Opcode::LD, 5, 6, 0, 0);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, loop);
+    a.op(Opcode::HALT);
+}
+
+void
+genSort(Asm &a, Program &prog, const BenchmarkSpec &spec,
+        std::uint64_t budget)
+{
+    const std::uint32_t m = spec.variant == 1 ? 48 : 96;
+    prog.dataBytes = nextPow2(m * 4);
+    prog.data.assign(prog.dataBytes / 4, 0);
+    const std::uint64_t perRep =
+        8ull * m + 12ull * (m - 1) + 2ull * m * m; // calibrated below
+    const std::uint64_t reps =
+        std::max<std::uint64_t>(1, budget / perRep);
+
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(reps));
+    a.li(4, kDataBase);
+    a.li(5, m);
+    const std::size_t outer = a.here();
+    // Refill with fresh pseudo-random positive values.
+    a.li(6, 0);
+    const std::size_t refill = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::SHRI, 9, rX, 0, 2);
+    a.op(Opcode::SHLI, 10, 6, 0, 2);
+    a.op(Opcode::ADD, 10, 4, 10);
+    a.op(Opcode::ST, 9, 10, 0, 0);
+    a.op(Opcode::ADDI, 6, 6, 0, 1);
+    a.branchTo(Opcode::BLT, 6, 5, refill);
+    // Insertion sort with data-dependent inner branches.
+    a.li(6, 1);
+    const std::size_t sOuter = a.here();
+    a.op(Opcode::SHLI, 10, 6, 0, 2);
+    a.op(Opcode::ADD, 10, 4, 10);
+    a.op(Opcode::LD, 8, 10, 0, 0); // key = a[i]
+    a.op(Opcode::ADDI, 7, 6, 0, -1);
+    const std::size_t sInner = a.here();
+    const std::size_t holeJneg = a.hole(Opcode::BLT, 7, Z);
+    a.op(Opcode::SHLI, 10, 7, 0, 2);
+    a.op(Opcode::ADD, 10, 4, 10);
+    a.op(Opcode::LD, 9, 10, 0, 0); // v = a[j]
+    const std::size_t holeOrder = a.hole(Opcode::BGE, 8, 9);
+    a.op(Opcode::ST, 9, 10, 0, 4); // a[j+1] = v
+    a.op(Opcode::ADDI, 7, 7, 0, -1);
+    a.jumpTo(sInner);
+    const std::size_t sDone = a.here();
+    a.patch(holeJneg, sDone);
+    a.patch(holeOrder, sDone);
+    a.op(Opcode::SHLI, 10, 7, 0, 2);
+    a.op(Opcode::ADD, 10, 4, 10);
+    a.op(Opcode::ST, 8, 10, 0, 4); // a[j+1] = key
+    a.op(Opcode::ADDI, 6, 6, 0, 1);
+    a.branchTo(Opcode::BLT, 6, 5, sOuter);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, outer);
+    a.op(Opcode::HALT);
+}
+
+void
+genBsearch(Asm &a, Program &prog, const BenchmarkSpec &spec,
+           std::uint64_t budget)
+{
+    const std::uint32_t m = spec.variant == 1 ? 16384 : 65536;
+    prog.dataBytes = m * 4;
+    prog.data.resize(m);
+    for (std::uint32_t i = 0; i < m; ++i)
+        prog.data[i] = i;
+
+    const std::uint32_t levels = [m] {
+        std::uint32_t l = 0;
+        while ((1u << l) < m)
+            ++l;
+        return l;
+    }();
+    const std::uint64_t perSearch = 8ull + 10ull * levels;
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(budget / perSearch));
+    a.li(4, kDataBase);
+    a.li(5, m);
+    const std::size_t outer = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::SHRI, 11, rX, 0, 7);
+    a.op(Opcode::ANDI, 11, 11, 0, static_cast<int>(m - 1));
+    a.li(6, 0);              // lo
+    a.op(Opcode::ADD, 7, 5, Z); // hi = m
+    const std::size_t bs = a.here();
+    const std::size_t holeExit = a.hole(Opcode::BGE, 6, 7);
+    a.op(Opcode::ADD, 8, 6, 7);
+    a.op(Opcode::SHRI, 8, 8, 0, 1); // mid
+    a.op(Opcode::SHLI, 10, 8, 0, 2);
+    a.op(Opcode::ADD, 10, 4, 10);
+    a.op(Opcode::LD, 9, 10, 0, 0);
+    const std::size_t holeLo = a.hole(Opcode::BLT, 9, 11);
+    a.op(Opcode::ADD, 7, 8, Z); // hi = mid
+    a.jumpTo(bs);
+    a.patch(holeLo, a.here());
+    a.op(Opcode::ADDI, 6, 8, 0, 1); // lo = mid + 1
+    a.jumpTo(bs);
+    a.patch(holeExit, a.here());
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, outer);
+    a.op(Opcode::HALT);
+}
+
+void
+genMix(Asm &a, Program &prog, const BenchmarkSpec &spec,
+       std::uint64_t budget, Xoshiro256StarStar &rng)
+{
+    const std::uint32_t words = 65536; // 256KB.
+    prog.dataBytes = words * 4;
+    prog.data.resize(words);
+    for (auto &w : prog.data)
+        w = static_cast<std::uint32_t>(rng.next()) >> 2;
+
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(budget / 13));
+    a.li(4, kDataBase);
+    a.li(10, 0);
+    const std::size_t loop = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::SHRI, 6, rX, 0, 5);
+    a.op(Opcode::ANDI, 6, 6, 0, static_cast<int>(words - 1));
+    a.op(Opcode::SHLI, 7, 6, 0, 2);
+    a.op(Opcode::ADD, 7, 4, 7);
+    a.op(Opcode::LD, 8, 7, 0, 0);
+    a.op(Opcode::ANDI, 9, rX, 0, 7);
+    const std::size_t holeSkip = a.hole(Opcode::BNE, 9, Z);
+    a.op(Opcode::XOR, 8, 8, rX);
+    a.op(Opcode::ST, 8, 7, 0, 0);
+    a.patch(holeSkip, a.here());
+    a.op(Opcode::ADD, 10, 10, 8);
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, loop);
+    a.op(Opcode::HALT);
+}
+
+void
+genPhase(Asm &a, Program &prog, const BenchmarkSpec &spec,
+         std::uint64_t budget, Xoshiro256StarStar &rng)
+{
+    // Array A: streamed at line stride (misses); table C: small and
+    // hot. Phase lengths are deliberately unequal so the phase
+    // period does not alias the systematic sampling interval.
+    const std::uint32_t wordsA = 65536; // 256KB.
+    const std::uint32_t wordsC = 4096;  // 16KB.
+    const std::uint32_t lenA = spec.variant == 1 ? 20000 : 9000;
+    const std::uint32_t lenB = spec.variant == 1 ? 26000 : 33000;
+    const std::uint32_t lenC = spec.variant == 1 ? 17000 : 23000;
+    prog.dataBytes = nextPow2((wordsA + wordsC) * 4);
+    prog.data.assign(prog.dataBytes / 4, 0);
+    for (std::uint32_t i = 0; i < wordsA + wordsC; ++i)
+        prog.data[i] = static_cast<std::uint32_t>(rng.next()) >> 2;
+
+    const std::uint64_t perBlockAvg =
+        (8ull * lenA + 5ull * lenB + 12ull * lenC) / 3;
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(3, budget / perBlockAvg);
+
+    a.li(rX, static_cast<std::uint32_t>(spec.seed) | 1u);
+    a.li(rA, kLcgMult);
+    a.li(rN, static_cast<std::uint32_t>(blocks));
+    a.li(4, kDataBase);
+    a.li(8, 0);  // accumulator
+    a.li(10, 0); // phase selector 0/1/2
+    a.li(11, lenA);
+    a.li(12, lenB);
+    a.li(13, lenC);
+    a.li(15, 0); // stream index (words)
+    a.li(18, wordsA);
+    const std::size_t dispatch = a.here();
+    const std::size_t holeA = a.hole(Opcode::BEQ, 10, Z);
+    a.op(Opcode::ADDI, 6, 10, 0, -1);
+    const std::size_t holeB = a.hole(Opcode::BEQ, 6, Z);
+
+    // Phase C: hot-table loads with a coin-flip branch.
+    a.op(Opcode::ADD, 5, 13, Z);
+    const std::size_t pcLoop = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::SHRI, 6, rX, 0, 9);
+    a.op(Opcode::ANDI, 6, 6, 0, static_cast<int>(wordsC - 1));
+    a.op(Opcode::ADD, 6, 6, 18);
+    a.op(Opcode::SHLI, 6, 6, 0, 2);
+    a.op(Opcode::ADD, 6, 4, 6);
+    a.op(Opcode::LD, 7, 6, 0, 0);
+    a.op(Opcode::ANDI, 9, rX, 0, 1);
+    const std::size_t holeCSkip = a.hole(Opcode::BNE, 9, Z);
+    a.op(Opcode::ADD, 8, 8, 7);
+    a.patch(holeCSkip, a.here());
+    a.op(Opcode::ADDI, 5, 5, 0, -1);
+    a.branchTo(Opcode::BNE, 5, Z, pcLoop);
+    const std::size_t holeCNext = a.hole(Opcode::BEQ, Z, Z);
+
+    // Phase A: line-stride streaming over array A.
+    a.patch(holeA, a.here());
+    a.op(Opcode::ADD, 5, 11, Z);
+    const std::size_t paLoop = a.here();
+    a.op(Opcode::ADDI, 15, 15, 0, 16);
+    a.op(Opcode::ANDI, 15, 15, 0, static_cast<int>(wordsA - 1));
+    a.op(Opcode::SHLI, 6, 15, 0, 2);
+    a.op(Opcode::ADD, 6, 4, 6);
+    a.op(Opcode::LD, 7, 6, 0, 0);
+    a.op(Opcode::ADD, 8, 8, 7);
+    a.op(Opcode::ADDI, 5, 5, 0, -1);
+    a.branchTo(Opcode::BNE, 5, Z, paLoop);
+    const std::size_t holeANext = a.hole(Opcode::BEQ, Z, Z);
+
+    // Phase B: pure ALU.
+    a.patch(holeB, a.here());
+    a.op(Opcode::ADD, 5, 12, Z);
+    const std::size_t pbLoop = a.here();
+    emitLcg(a, rX, rA);
+    a.op(Opcode::XOR, 8, 8, rX);
+    a.op(Opcode::ADDI, 5, 5, 0, -1);
+    a.branchTo(Opcode::BNE, 5, Z, pbLoop);
+
+    // next: advance phase selector mod 3, next block.
+    const std::size_t next = a.here();
+    a.patch(holeCNext, next);
+    a.patch(holeANext, next);
+    a.op(Opcode::ADDI, 10, 10, 0, 1);
+    a.op(Opcode::ADDI, 6, 10, 0, -3);
+    const std::size_t holeNoWrap = a.hole(Opcode::BNE, 6, Z);
+    a.op(Opcode::ADD, 10, Z, Z);
+    a.patch(holeNoWrap, a.here());
+    a.op(Opcode::ADDI, rN, rN, 0, -1);
+    a.branchTo(Opcode::BNE, rN, Z, dispatch);
+    a.op(Opcode::HALT);
+}
+
+} // namespace
+
+Program
+buildProgram(const BenchmarkSpec &spec)
+{
+    Program prog;
+    Asm a;
+    Xoshiro256StarStar rng(spec.seed * 0x9e3779b97f4a7c15ull + 0xabcd);
+    const std::uint64_t budget = instructionBudget(spec.scale);
+
+    switch (spec.kernel) {
+      case Kernel::Alu:
+        genAlu(a, spec, budget);
+        break;
+      case Kernel::Fsm:
+        genFsm(a, prog, spec, budget, rng);
+        break;
+      case Kernel::Stream:
+        genStream(a, prog, spec, budget, rng);
+        break;
+      case Kernel::Chase:
+        genChase(a, prog, spec, budget, rng);
+        break;
+      case Kernel::Sort:
+        genSort(a, prog, spec, budget);
+        break;
+      case Kernel::Bsearch:
+        genBsearch(a, prog, spec, budget);
+        break;
+      case Kernel::Mix:
+        genMix(a, prog, spec, budget, rng);
+        break;
+      case Kernel::Phase:
+        genPhase(a, prog, spec, budget, rng);
+        break;
+    }
+
+    prog.code = std::move(a.code);
+    if (prog.dataBytes == 0) {
+        prog.dataBytes = 4096;
+        prog.data.assign(prog.dataBytes / 4, 0);
+    }
+    prog.entryPc = kCodeBase;
+    return prog;
+}
+
+} // namespace smarts::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Micro test harness: CHECK/CHECK_NEAR record failures and the
+ * TEST_MAIN summary returns nonzero when any check failed. Zero
+ * dependencies so the tests build on any toolchain CI throws at us.
+ */
+
+#ifndef SMARTS_TESTS_CHECK_HH
+#define SMARTS_TESTS_CHECK_HH
+
+#include <cmath>
+#include <cstdio>
+
+namespace smarts::test {
+
+inline int failures = 0;
+inline int checks = 0;
+
+inline void
+report(bool ok, const char *expr, const char *file, int line)
+{
+    ++checks;
+    if (!ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL %s:%d: %s\n", file, line, expr);
+    }
+}
+
+} // namespace smarts::test
+
+#define CHECK(cond)                                                    \
+    ::smarts::test::report((cond), #cond, __FILE__, __LINE__)
+
+#define CHECK_NEAR(a, b, tol)                                          \
+    do {                                                               \
+        const double check_a = (a);                                    \
+        const double check_b = (b);                                    \
+        const bool check_ok =                                          \
+            std::fabs(check_a - check_b) <= (tol);                     \
+        ::smarts::test::report(check_ok, #a " ~= " #b, __FILE__,      \
+                               __LINE__);                              \
+        if (!check_ok)                                                 \
+            std::fprintf(stderr, "  got %.10g, want %.10g (+/- %g)\n", \
+                         check_a, check_b, (double)(tol));             \
+    } while (0)
+
+#define TEST_MAIN_SUMMARY()                                            \
+    do {                                                               \
+        std::printf("%d checks, %d failures\n",                        \
+                    ::smarts::test::checks,                            \
+                    ::smarts::test::failures);                         \
+        return ::smarts::test::failures ? 1 : 0;                       \
+    } while (0)
+
+#endif // SMARTS_TESTS_CHECK_HH

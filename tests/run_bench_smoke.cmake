@@ -1,0 +1,39 @@
+# Smoke-test driver: run a bench binary with the given args and
+# verify it exits cleanly AND emits its CSV artifact (guards the
+# bench_common CSV plumbing end to end).
+#
+# Usage: cmake -DBENCH=<binary> -DCSV=<expected csv path>
+#              -DARGS=<;-separated extra args> -P run_bench_smoke.cmake
+
+if(NOT BENCH OR NOT CSV)
+  message(FATAL_ERROR "run_bench_smoke.cmake needs -DBENCH= and -DCSV=")
+endif()
+
+file(REMOVE "${CSV}")
+
+execute_process(
+  COMMAND "${BENCH}" ${ARGS} "--csv=${CSV}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output
+)
+
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH} failed with exit code ${exit_code}:\n${output}")
+endif()
+
+if(NOT EXISTS "${CSV}")
+  message(FATAL_ERROR "${BENCH} did not write its CSV artifact ${CSV}")
+endif()
+
+file(STRINGS "${CSV}" csv_lines)
+list(LENGTH csv_lines csv_line_count)
+if(csv_line_count LESS 2)
+  message(FATAL_ERROR
+    "${CSV} has ${csv_line_count} line(s); expected a header plus "
+    "at least one data row")
+endif()
+
+message(STATUS "smoke OK: ${BENCH} wrote ${CSV} "
+               "(${csv_line_count} lines)")

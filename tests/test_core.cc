@@ -1,0 +1,183 @@
+/**
+ * @file
+ * End-to-end core-layer tests: the sampled SMARTS estimate tracks
+ * the full-stream reference, V_CPI(U) falls with U (the Figure 2
+ * property), the rate model has the paper's shape, and the two-pass
+ * procedure engages when the target is tight. Everything here is
+ * deterministic (fixed seeds, fixed streams).
+ */
+
+#include "core/bias.hh"
+#include "core/perf_model.hh"
+#include "core/procedure.hh"
+#include "core/reference.hh"
+#include "core/sampler.hh"
+#include "core/session.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+void
+testSampledEstimateTracksReference()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    core::ReferenceRunner runner(workloads::Scale::Mini, config);
+
+    for (const char *name : {"fsm-1", "mix-1", "alu-1"}) {
+        const auto spec =
+            workloads::findBenchmark(name, workloads::Scale::Mini);
+        const core::ReferenceResult &ref = runner.get(spec);
+        CHECK(ref.cpi > 0.05);
+        CHECK(ref.cpi < 30.0);
+        CHECK(ref.epi > 0.0);
+
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming = 2000;
+        sc.warming = core::WarmingMode::Functional;
+        sc.interval = core::SamplingConfig::chooseInterval(
+            ref.instructions, sc.unitSize, 150);
+        core::SimSession session(spec, config);
+        const core::SmartsEstimate est =
+            core::SystematicSampler(sc).run(session);
+
+        CHECK(est.units() >= 100);
+        const double err = (est.cpi() - ref.cpi) / ref.cpi;
+        // Functional warming + W=2000 must land near the truth.
+        CHECK(std::fabs(err) < 0.10);
+        CHECK(est.cpiConfidenceInterval(0.997) > 0.0);
+    }
+}
+
+void
+testCvFallsWithUnitSize()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    core::ReferenceRunner runner(workloads::Scale::Mini, config);
+    for (const char *name : {"mix-1", "bsearch-1", "phase-1"}) {
+        const auto spec =
+            workloads::findBenchmark(name, workloads::Scale::Mini);
+        const core::ReferenceResult &ref = runner.get(spec);
+        const double v10 = core::cvAtUnitSize(ref, 10);
+        const double v1k = core::cvAtUnitSize(ref, 1000);
+        const double v100k = core::cvAtUnitSize(ref, 100'000);
+        CHECK(v10 > 0.0);
+        // The Figure 2 trend: steep fall below U=1000, still
+        // falling (or flat) after.
+        CHECK(v1k < v10);
+        CHECK(v100k <= v1k + 1e-9);
+    }
+}
+
+void
+testRateModelShape()
+{
+    const core::RateParams paper{1.0, 1.0 / 60.0, 0.55};
+    const std::uint64_t n = 10'000, u = 1000;
+    const std::uint64_t big = 10'000'000'000ull;
+
+    // Falls from ~S_F toward S_D as W grows.
+    const double atW0 =
+        core::smartsRateDetailedWarming(big, n, u, 0, paper);
+    const double atW1e5 =
+        core::smartsRateDetailedWarming(big, n, u, 100'000, paper);
+    const double atWHuge =
+        core::smartsRateDetailedWarming(big, n, u, 10'000'000, paper);
+    CHECK(atW0 > 0.9);
+    CHECK(atW1e5 < atW0);
+    CHECK_NEAR(atWHuge, paper.detailed, 1e-6); // clamped limit.
+
+    // Functional warming pins the rate near S_FW regardless of the
+    // detailed-warming sweep.
+    const double fw =
+        core::smartsRateFunctionalWarming(big, n, u, 2000, paper);
+    CHECK(fw > 0.4);
+    CHECK(fw < paper.functionalWarming);
+    CHECK_NEAR(core::speedupOverDetailed(fw, paper), fw * 60.0,
+               1e-9);
+}
+
+void
+testProcedureTwoPass()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("mix-1", workloads::Scale::Mini);
+    std::uint64_t length;
+    {
+        core::SimSession probe(spec, config);
+        length = probe.fastForward(~0ull >> 1,
+                                   core::WarmingMode::None);
+    }
+    const auto factory = [&] {
+        return std::make_unique<core::SimSession>(spec, config);
+    };
+
+    // A deliberately tiny first sample with a tight target: the
+    // procedure must rerun with n_tuned and tighten the CI.
+    core::ProcedureConfig pc;
+    pc.unitSize = 1000;
+    pc.detailedWarming = 2000;
+    pc.warming = core::WarmingMode::Functional;
+    pc.target = {0.997, 0.005};
+    pc.nInit = 40;
+    const core::ProcedureResult tight =
+        core::SmartsProcedure(pc).estimate(factory, length);
+    CHECK(!tight.metOnFirstTry());
+    CHECK(tight.recommendedN > tight.initial.units());
+    CHECK(tight.tuned.has_value());
+    CHECK(tight.final().units() > tight.initial.units());
+    CHECK(tight.final().cpiConfidenceInterval(0.997) <
+          tight.initial.cpiConfidenceInterval(0.997));
+
+    // A loose target met on the first try.
+    pc.target = {0.95, 0.2};
+    pc.nInit = 100;
+    const core::ProcedureResult loose =
+        core::SmartsProcedure(pc).estimate(factory, length);
+    CHECK(loose.metOnFirstTry());
+    CHECK(&loose.final() == &loose.initial);
+}
+
+void
+testMeasureBiasPhases()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("fsm-1", workloads::Scale::Mini);
+    core::ReferenceRunner runner(workloads::Scale::Mini, config);
+    const core::ReferenceResult &ref = runner.get(spec);
+
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 2000;
+    sc.warming = core::WarmingMode::Functional;
+    sc.interval = core::SamplingConfig::chooseInterval(
+        ref.instructions, sc.unitSize, 100);
+    const core::BiasResult bias = core::measureBias(
+        [&] {
+            return std::make_unique<core::SimSession>(spec, config);
+        },
+        sc, 3, ref.cpi);
+    CHECK(bias.phaseCpi.size() == 3);
+    CHECK(std::fabs(bias.relativeBias) < 0.10);
+    CHECK_NEAR(bias.referenceCpi, ref.cpi, 1e-12);
+}
+
+} // namespace
+
+int
+main()
+{
+    testSampledEstimateTracksReference();
+    testCvFallsWithUnitSize();
+    testRateModelShape();
+    testProcedureTwoPass();
+    testMeasureBiasPhases();
+    TEST_MAIN_SUMMARY();
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the systematic sampling-unit geometry: k = N/U
+ * interval selection, first-unit offset j, the W pre-warming
+ * window, and full-stream coverage invariants.
+ */
+
+#include "core/sampler.hh"
+#include "core/session.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+std::uint64_t
+streamLengthOf(const workloads::BenchmarkSpec &spec,
+               const uarch::MachineConfig &config)
+{
+    core::SimSession session(spec, config);
+    return session.fastForward(~0ull >> 1, core::WarmingMode::None);
+}
+
+void
+testChooseInterval()
+{
+    using core::SamplingConfig;
+    // 1e6 insts / U=1000 -> N=1000 units; 100 target -> k=10.
+    CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 100) == 10);
+    // Target above the population: sample every unit.
+    CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 2000) == 1);
+    CHECK(SamplingConfig::chooseInterval(0, 1000, 10) == 1);
+    CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 0) == 1);
+    // Rounding down k keeps n >= target.
+    const std::uint64_t k =
+        SamplingConfig::chooseInterval(1'234'567, 1000, 60);
+    CHECK(k >= 1);
+    CHECK(1'234'567 / 1000 / k >= 60);
+}
+
+void
+testUnitGeometry()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("alu-1", workloads::Scale::Mini);
+    const std::uint64_t length = streamLengthOf(spec, config);
+    CHECK(length > 500'000); // sanity: a real stream.
+
+    const std::uint64_t u = 1000, w = 500, k = 10;
+    for (const std::uint64_t offset : {0ull, 3ull, 7ull}) {
+        core::SamplingConfig sc;
+        sc.unitSize = u;
+        sc.detailedWarming = w;
+        sc.interval = k;
+        sc.offset = offset;
+        sc.warming = core::WarmingMode::Functional;
+
+        core::SimSession session(spec, config);
+        const core::SmartsEstimate est =
+            core::SystematicSampler(sc).run(session);
+
+        // Expected units: indices offset, offset+k, ... whose full
+        // U instructions fit inside the stream.
+        std::uint64_t expected = 0;
+        for (std::uint64_t idx = offset; idx * u + u <= length;
+             idx += k)
+            ++expected;
+        CHECK(est.units() == expected);
+
+        // Every complete unit contributes exactly U measured
+        // instructions; at most one trailing partial unit adds less.
+        CHECK(est.instructionsMeasured >= est.units() * u);
+        CHECK(est.instructionsMeasured < est.units() * u + u);
+
+        // W pre-warming window: every unit is preceded by exactly W
+        // detailed-warmed instructions (offset*U >= W here), except
+        // a possible truncated final warming window.
+        CHECK(est.instructionsWarmed >= (est.units() - 1) * w);
+        CHECK(est.instructionsWarmed <= est.units() * w + w);
+
+        // The sampler runs the stream to completion.
+        CHECK(session.finished());
+        CHECK(est.streamLength == length);
+        CHECK(est.detailedFraction() > 0.0);
+        CHECK(est.detailedFraction() < 1.0);
+
+        CHECK(est.cpi() > 0.0);
+        CHECK(est.epi() > 0.0);
+    }
+}
+
+void
+testFirstUnitOffsetZeroWarming()
+{
+    // offset 0, first unit starts at instruction 0: the warming
+    // window is truncated to nothing, and the run still works.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("fsm-1", workloads::Scale::Mini);
+
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 2000;
+    sc.interval = 50;
+    sc.offset = 0;
+    sc.warming = core::WarmingMode::None;
+
+    core::SimSession session(spec, config);
+    const core::SmartsEstimate est =
+        core::SystematicSampler(sc).run(session);
+    CHECK(est.units() > 0);
+    // First unit got no warming; every other counted unit got
+    // exactly W. A trailing dropped partial unit may have spent one
+    // extra full warming window, so the budget is between
+    // (units-1)*W and units*W.
+    CHECK(est.instructionsWarmed >= (est.units() - 1) * 2000);
+    CHECK(est.instructionsWarmed <= est.units() * 2000);
+    CHECK(est.instructionsWarmed % 2000 == 0);
+}
+
+void
+testDenserIntervalMeasuresMore()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("alu-1", workloads::Scale::Mini);
+
+    auto unitsAt = [&](std::uint64_t k) {
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming = 0;
+        sc.interval = k;
+        sc.warming = core::WarmingMode::Functional;
+        core::SimSession session(spec, config);
+        return core::SystematicSampler(sc).run(session).units();
+    };
+    const std::uint64_t dense = unitsAt(5);
+    const std::uint64_t sparse = unitsAt(50);
+    CHECK(dense > 8 * sparse); // ~10x by construction.
+}
+
+} // namespace
+
+int
+main()
+{
+    testChooseInterval();
+    testUnitGeometry();
+    testFirstUnitOffsetZeroWarming();
+    testDenserIntervalMeasuresMore();
+    TEST_MAIN_SUMMARY();
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for stats::OnlineStats and the confidence-interval
+ * math (known-variance fixtures; paper Eq. 1-3).
+ */
+
+#include <initializer_list>
+
+#include "stats/confidence.hh"
+#include "stats/online_stats.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+void
+testOnlineStatsFixture()
+{
+    // Classic fixture: mean 5, sample variance 32/7.
+    const double xs[] = {2, 4, 4, 4, 5, 5, 7, 9};
+    stats::OnlineStats s;
+    for (const double x : xs)
+        s.add(x);
+    CHECK(s.count() == 8);
+    CHECK_NEAR(s.mean(), 5.0, 1e-12);
+    CHECK_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    CHECK_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    CHECK_NEAR(s.cv(), std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+    CHECK_NEAR(s.meanError(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+}
+
+void
+testOnlineStatsEdge()
+{
+    stats::OnlineStats s;
+    CHECK(s.count() == 0);
+    CHECK_NEAR(s.mean(), 0.0, 0.0);
+    CHECK_NEAR(s.variance(), 0.0, 0.0);
+    s.add(3.0);
+    CHECK_NEAR(s.mean(), 3.0, 1e-12);
+    CHECK_NEAR(s.variance(), 0.0, 0.0); // undefined -> 0 by contract.
+}
+
+void
+testOnlineStatsMerge()
+{
+    stats::OnlineStats all, a, b;
+    for (int i = 0; i < 40; ++i) {
+        const double x = 0.25 * i * i - 3.0 * i + 1.0;
+        all.add(x);
+        (i % 3 ? a : b).add(x);
+    }
+    a.merge(b);
+    CHECK(a.count() == all.count());
+    CHECK_NEAR(a.mean(), all.mean(), 1e-9);
+    CHECK_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+void
+testZScores()
+{
+    // Two-sided critical values of the standard normal.
+    CHECK_NEAR(stats::zScore(0.95), 1.959964, 1e-4);
+    CHECK_NEAR(stats::zScore(0.99), 2.575829, 1e-4);
+    CHECK_NEAR(stats::zScore(0.997), 2.967738, 1e-4);
+    CHECK_NEAR(stats::zScore(0.6827), 1.0, 2e-3);
+}
+
+void
+testRequiredSampleSize()
+{
+    // n = ceil((z V / eps)^2), Eq. 3.
+    const stats::ConfidenceSpec spec =
+        stats::ConfidenceSpec::virtuallyCertain3pct();
+    CHECK(stats::requiredSampleSize(0.3, spec) == 881);
+    // Quadrupling: halving epsilon costs 4x the units.
+    const std::uint64_t n3 =
+        stats::requiredSampleSize(0.5, {0.95, 0.03});
+    const std::uint64_t n15 =
+        stats::requiredSampleSize(0.5, {0.95, 0.015});
+    CHECK(n15 >= 4 * n3 - 4 && n15 <= 4 * n3 + 4);
+    // Zero variability still returns the floor of 2.
+    CHECK(stats::requiredSampleSize(0.0, spec) == 2);
+}
+
+void
+testHalfWidthInverse()
+{
+    // The CI at the required n must meet the target epsilon.
+    for (const double cv : {0.1, 0.37, 1.4}) {
+        for (const stats::ConfidenceSpec spec :
+             {stats::ConfidenceSpec::ninetyFive3pct(),
+              stats::ConfidenceSpec::virtuallyCertain3pct(),
+              stats::ConfidenceSpec::virtuallyCertain1pct()}) {
+            const std::uint64_t n =
+                stats::requiredSampleSize(cv, spec);
+            CHECK(stats::confidenceHalfWidth(cv, n, spec.level) <=
+                  spec.epsilon + 1e-12);
+            // And one fewer unit (below the floor of 2) would not.
+            if (n > 2)
+                CHECK(stats::confidenceHalfWidth(cv, n - 1,
+                                                 spec.level) >
+                      spec.epsilon - 1e-12);
+        }
+    }
+    CHECK_NEAR(stats::confidenceHalfWidth(0.5, 0, 0.95), 0.0, 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    testOnlineStatsFixture();
+    testOnlineStatsEdge();
+    testOnlineStatsMerge();
+    testZScores();
+    testRequiredSampleSize();
+    testHalfWidthInverse();
+    TEST_MAIN_SUMMARY();
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload layer: suite composition,
+ * lookup, determinism of the generated streams, and the scale
+ * ladder.
+ */
+
+#include <set>
+
+#include "core/session.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+#include "workloads/program.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+void
+testSuites()
+{
+    const auto quick = workloads::quickSuite(workloads::Scale::Mini);
+    const auto standard =
+        workloads::standardSuite(workloads::Scale::Mini);
+    CHECK(quick.size() == 6);
+    CHECK(standard.size() == 12);
+
+    std::set<std::string> names;
+    for (const auto &spec : standard)
+        names.insert(spec.name);
+    CHECK(names.size() == standard.size()); // unique names.
+    // The names the examples/benches reference must exist.
+    for (const char *needed : {"phase-1", "fsm-2", "sort-2",
+                               "bsearch-2", "alu-1", "chase-1"})
+        CHECK(names.count(needed) == 1);
+    // quick is a subset of standard.
+    for (const auto &spec : quick)
+        CHECK(names.count(spec.name) == 1);
+}
+
+void
+testFindBenchmark()
+{
+    const auto spec =
+        workloads::findBenchmark("bsearch-2", workloads::Scale::Small);
+    CHECK(spec.name == "bsearch-2");
+    CHECK(spec.scale == workloads::Scale::Small);
+}
+
+void
+testProgramsWellFormed()
+{
+    for (const auto &spec :
+         workloads::standardSuite(workloads::Scale::Mini)) {
+        const workloads::Program prog =
+            workloads::buildProgram(spec);
+        CHECK(!prog.code.empty());
+        CHECK(prog.dataBytes > 0);
+        CHECK((prog.dataBytes & (prog.dataBytes - 1)) == 0);
+        CHECK(prog.data.size() == prog.dataBytes / 4);
+        CHECK(prog.entryPc == workloads::kCodeBase);
+        // Identical spec -> identical program (determinism).
+        const workloads::Program again =
+            workloads::buildProgram(spec);
+        CHECK(again.code == prog.code);
+        CHECK(again.data == prog.data);
+    }
+}
+
+void
+testStreamsRunAndScale()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    for (const char *name : {"alu-1", "fsm-1", "sort-1"}) {
+        const auto mini =
+            workloads::findBenchmark(name, workloads::Scale::Mini);
+        core::SimSession a(mini, config);
+        const std::uint64_t lenA =
+            a.fastForward(~0ull >> 1, core::WarmingMode::None);
+        CHECK(a.finished());
+        CHECK(lenA > 500'000);
+        CHECK(lenA < 8'000'000);
+
+        // Deterministic replay.
+        core::SimSession b(mini, config);
+        CHECK(b.fastForward(~0ull >> 1, core::WarmingMode::None) ==
+              lenA);
+
+        // Small is roughly 6x Mini.
+        const auto small =
+            workloads::findBenchmark(name, workloads::Scale::Small);
+        core::SimSession c(small, config);
+        const std::uint64_t lenC =
+            c.fastForward(~0ull >> 1, core::WarmingMode::None);
+        CHECK(lenC > 3 * lenA);
+    }
+}
+
+void
+testWarmingModesPreserveArchitecture()
+{
+    // The architectural stream must be identical no matter what is
+    // being warmed or timed: same length, same final activity mix.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("mix-1", workloads::Scale::Mini);
+
+    std::uint64_t lengths[3];
+    std::uint64_t loads[3];
+    int i = 0;
+    for (const auto mode :
+         {core::WarmingMode::None, core::WarmingMode::Functional,
+          core::WarmingMode::CachesOnly}) {
+        core::SimSession s(spec, config);
+        lengths[i] = s.fastForward(~0ull >> 1, mode);
+        loads[i] = s.activity().loads;
+        ++i;
+    }
+    CHECK(lengths[0] == lengths[1]);
+    CHECK(lengths[1] == lengths[2]);
+    CHECK(loads[0] == loads[1]);
+
+    // Detailed execution follows the same architectural path.
+    core::SimSession d(spec, config);
+    std::uint64_t detailedLen = 0;
+    while (!d.finished()) {
+        const core::Segment seg = d.detailedRun(1'000'000);
+        detailedLen += seg.instructions;
+        if (!seg.instructions)
+            break;
+    }
+    CHECK(detailedLen == lengths[0]);
+}
+
+} // namespace
+
+int
+main()
+{
+    testSuites();
+    testFindBenchmark();
+    testProgramsWellFormed();
+    testStreamsRunAndScale();
+    testWarmingModesPreserveArchitecture();
+    TEST_MAIN_SUMMARY();
+}

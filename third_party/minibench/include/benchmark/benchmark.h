@@ -1,0 +1,240 @@
+/**
+ * @file
+ * minibench: a minimal, header-only, API-compatible subset of
+ * google-benchmark, used only when the real library is not
+ * installed (see bench/CMakeLists.txt). Supports the pieces
+ * bench_micro_components.cc uses: State iteration, items
+ * processed, labels, DoNotOptimize, BENCHMARK()->Unit() and
+ * BENCHMARK_MAIN(). Timing is adaptive: batches grow until a
+ * benchmark has run for ~0.3 s.
+ */
+
+#ifndef SMARTS_MINIBENCH_BENCHMARK_H
+#define SMARTS_MINIBENCH_BENCHMARK_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit
+{
+    kNanosecond,
+    kMicrosecond,
+    kMillisecond,
+    kSecond,
+};
+
+class State
+{
+  public:
+    explicit State(std::int64_t iterations)
+        : max_iterations(iterations)
+    {
+    }
+
+    /**
+     * Non-trivially-destructible value type so `for (auto _ : state)`
+     * does not trip -Wunused-variable.
+     */
+    struct Value
+    {
+        ~Value() {}
+    };
+
+    struct iterator
+    {
+        std::int64_t left;
+
+        bool
+        operator!=(const iterator &other) const
+        {
+            return left != other.left;
+        }
+
+        iterator &
+        operator++()
+        {
+            --left;
+            return *this;
+        }
+
+        Value
+        operator*() const
+        {
+            return Value();
+        }
+    };
+
+    iterator
+    begin()
+    {
+        return {max_iterations};
+    }
+
+    iterator
+    end()
+    {
+        return {0};
+    }
+
+    void
+    SetItemsProcessed(std::int64_t items)
+    {
+        items_ = items;
+    }
+
+    void
+    SetLabel(const std::string &label)
+    {
+        label_ = label;
+    }
+
+    std::int64_t
+    iterations() const
+    {
+        return max_iterations;
+    }
+
+    std::int64_t max_iterations;
+    std::int64_t items_ = 0;
+    std::string label_;
+};
+
+template <class T>
+inline void
+DoNotOptimize(T const &value)
+{
+    asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <class T>
+inline void
+DoNotOptimize(T &value)
+{
+    asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+namespace internal {
+
+class Benchmark
+{
+  public:
+    Benchmark(std::string name, void (*fn)(State &))
+        : name_(std::move(name)), fn_(fn)
+    {
+    }
+
+    Benchmark *
+    Unit(TimeUnit unit)
+    {
+        unit_ = unit;
+        return this;
+    }
+
+    void
+    run() const
+    {
+        using clock = std::chrono::steady_clock;
+        std::int64_t iterations = 1;
+        double seconds = 0.0;
+        std::int64_t items = 0;
+        std::string label;
+        for (;;) {
+            State state(iterations);
+            const auto start = clock::now();
+            fn_(state);
+            seconds =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            items = state.items_;
+            label = state.label_;
+            if (seconds >= 0.3 || iterations >= (1ll << 30))
+                break;
+            iterations *= 4;
+        }
+        const double perIter =
+            seconds / static_cast<double>(iterations);
+        double shown = perIter;
+        const char *suffix = "s";
+        switch (unit_) {
+          case kNanosecond:
+            shown = perIter * 1e9;
+            suffix = "ns";
+            break;
+          case kMicrosecond:
+            shown = perIter * 1e6;
+            suffix = "us";
+            break;
+          case kMillisecond:
+            shown = perIter * 1e3;
+            suffix = "ms";
+            break;
+          case kSecond:
+            break;
+        }
+        std::printf("%-28s %12.3f %s/iter", name_.c_str(), shown,
+                    suffix);
+        if (items > 0 && seconds > 0)
+            std::printf("  %10.2f Mitems/s",
+                        static_cast<double>(items) / seconds / 1e6);
+        if (!label.empty())
+            std::printf("  [%s]", label.c_str());
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+  private:
+    std::string name_;
+    void (*fn_)(State &);
+    TimeUnit unit_ = kNanosecond;
+};
+
+inline std::vector<Benchmark *> &
+registry()
+{
+    static std::vector<Benchmark *> list;
+    return list;
+}
+
+inline Benchmark *
+RegisterBenchmark(const char *name, void (*fn)(State &))
+{
+    auto *bench = new Benchmark(name, fn);
+    registry().push_back(bench);
+    return bench;
+}
+
+inline int
+RunAll()
+{
+    std::printf("minibench (google-benchmark shim): %zu benchmarks\n",
+                registry().size());
+    for (const Benchmark *bench : registry())
+        bench->run();
+    return 0;
+}
+
+} // namespace internal
+
+} // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                                  \
+    static ::benchmark::internal::Benchmark *MINIBENCH_CONCAT(        \
+        minibench_reg_, __LINE__) =                                    \
+        ::benchmark::internal::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                                               \
+    int main()                                                         \
+    {                                                                  \
+        return ::benchmark::internal::RunAll();                        \
+    }
+
+#endif // SMARTS_MINIBENCH_BENCHMARK_H
