@@ -9,14 +9,22 @@
  * benchmarks, predictor warming for branch-heavy ones; only the full
  * warm set keeps every benchmark's bias small, which is why the paper
  * warms all long-history state.
+ *
+ * Execution: each benchmark (reference + 4 warm-set bias sweeps) is
+ * one job on the exec-layer pool; rows are emitted in suite order,
+ * so the output is identical at any thread count.
  */
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/bias.hh"
+#include "exec/thread_pool.hh"
 
 using namespace smarts;
 using namespace smarts::bench;
@@ -30,7 +38,6 @@ main(int argc, char **argv)
            opt);
 
     const auto config = uarch::MachineConfig::eightWay();
-    core::ReferenceRunner runner(opt.scale, config);
 
     const struct
     {
@@ -43,14 +50,14 @@ main(int argc, char **argv)
         {"full", core::WarmingMode::Functional},
     };
 
-    TextTable table({"benchmark", "bias none", "bias caches",
-                     "bias bpred", "bias full", "best partial set"});
+    const auto suite = opt.suite();
+    std::vector<std::array<double, 4>> biases(suite.size());
 
-    int full_wins = 0, total = 0;
-    for (const auto &spec : opt.suite()) {
+    exec::ThreadPool pool; // one worker per hardware thread.
+    exec::parallelForIndexed(pool, suite.size(), [&](std::size_t i) {
+        const auto &spec = suite[i];
+        core::ReferenceRunner runner(opt.scale, config);
         const core::ReferenceResult ref = runner.get(spec);
-        table.row().add(spec.name);
-        double biases[4];
         for (int m = 0; m < 4; ++m) {
             core::SamplingConfig sc;
             sc.unitSize = 1000;
@@ -64,21 +71,31 @@ main(int argc, char **argv)
                                                               config);
                 },
                 sc, 5, ref.cpi);
-            biases[m] = bias.relativeBias;
-            table.addPercent(bias.relativeBias, 2);
-        }
-        table.add(std::abs(biases[1]) <= std::abs(biases[2])
-                      ? "caches"
-                      : "bpred");
-        ++total;
-        if (std::abs(biases[3]) <=
-            std::min(std::abs(biases[1]), std::abs(biases[2])) + 0.005) {
-            ++full_wins;
+            biases[i][m] = bias.relativeBias;
         }
         std::printf(".");
         std::fflush(stdout);
-    }
+    });
     std::printf("\n\n");
+
+    TextTable table({"benchmark", "bias none", "bias caches",
+                     "bias bpred", "bias full", "best partial set"});
+
+    int full_wins = 0, total = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        table.row().add(suite[i].name);
+        for (int m = 0; m < 4; ++m)
+            table.addPercent(biases[i][m], 2);
+        table.add(std::abs(biases[i][1]) <= std::abs(biases[i][2])
+                      ? "caches"
+                      : "bpred");
+        ++total;
+        if (std::abs(biases[i][3]) <=
+            std::min(std::abs(biases[i][1]), std::abs(biases[i][2])) +
+                0.005) {
+            ++full_wins;
+        }
+    }
     emit(table, opt);
     std::printf("full warm set at-or-near the best partial set for "
                 "%d/%d benchmarks; no partial set is safe across the "

@@ -14,18 +14,82 @@
  * Scaling note: at paper scale n_init = 10,000 out of millions of
  * units; our benchmarks have thousands of units, so n_init is scaled
  * to ~N/8 to keep k ≈ 8 and preserve the procedure's structure.
+ *
+ * Execution: every (machine, benchmark) cell — reference plus
+ * two-pass procedure — is an independent job sharded across the
+ * exec-layer work-stealing pool; rows are emitted in batch order, so
+ * the output (and the golden CSV) is identical at any thread count.
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/procedure.hh"
+#include "exec/thread_pool.hh"
 
 using namespace smarts;
 using namespace smarts::bench;
+
+namespace {
+
+struct CellResult
+{
+    double refCpi = 0.0;
+    double initCpi = 0.0;
+    double err = 0.0;
+    double ci = 0.0;
+    bool ok = false;
+    bool rerun = false;
+    double rerunErr = 0.0;
+    double finalAbsErr = 0.0;
+};
+
+CellResult
+runCell(const workloads::BenchmarkSpec &spec,
+        const uarch::MachineConfig &config, workloads::Scale scale)
+{
+    core::ReferenceRunner runner(scale, config);
+    const core::ReferenceResult ref = runner.get(spec);
+
+    core::ProcedureConfig pc;
+    pc.unitSize = 1000;
+    pc.detailedWarming = recommendedW(config);
+    pc.warming = core::WarmingMode::Functional;
+    pc.target = {0.997, 0.03};
+    pc.nInit =
+        std::max<std::uint64_t>(ref.instructions / 1000 / 8, 60);
+
+    const core::SmartsProcedure proc(pc);
+    const auto factory = [&] {
+        return std::make_unique<core::SimSession>(spec, config);
+    };
+
+    // Initial run only (the figure's bars); procedure handles the
+    // rerun when needed.
+    const core::ProcedureResult result =
+        proc.estimate(factory, ref.instructions);
+
+    CellResult cell;
+    const auto &init = result.initial;
+    cell.refCpi = ref.cpi;
+    cell.initCpi = init.cpi();
+    cell.err = (init.cpi() - ref.cpi) / ref.cpi;
+    cell.ci = init.cpiConfidenceInterval(0.997);
+    // Sampling CI + the paper's ~2% empirical warming-bias budget.
+    cell.ok = std::abs(cell.err) <= cell.ci + 0.02;
+    cell.rerun = !result.metOnFirstTry();
+    if (cell.rerun)
+        cell.rerunErr = (result.tuned->cpi() - ref.cpi) / ref.cpi;
+    cell.finalAbsErr =
+        std::abs(result.final().cpi() - ref.cpi) / ref.cpi;
+    return cell;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,69 +108,55 @@ main(int argc, char **argv)
                      "actual err", "99.7% CI", "within CI+2%?",
                      "n_tuned rerun err"});
 
-    for (const auto &config : machines(opt)) {
-        core::ReferenceRunner runner(opt.scale, config);
+    const auto configs = machines(opt);
+    const auto suite = opt.suite();
+
+    // One job per (machine, benchmark) cell, machine-major order.
+    std::vector<CellResult> cells(configs.size() * suite.size());
+    exec::ThreadPool pool; // one worker per hardware thread.
+    exec::parallelForIndexed(
+        pool, cells.size(), [&](std::size_t i) {
+            const auto &config = configs[i / suite.size()];
+            const auto &spec = suite[i % suite.size()];
+            cells[i] = runCell(spec, config, opt.scale);
+            std::printf(".");
+            std::fflush(stdout);
+        });
+    std::printf("\n");
+
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        const auto &config = configs[m];
         stats::OnlineStats abs_err;
         stats::OnlineStats final_abs_err;
         int ci_ok = 0, total = 0, reruns = 0;
 
-        for (const auto &spec : opt.suite()) {
-            const core::ReferenceResult ref = runner.get(spec);
-
-            core::ProcedureConfig pc;
-            pc.unitSize = 1000;
-            pc.detailedWarming = recommendedW(config);
-            pc.warming = core::WarmingMode::Functional;
-            pc.target = {0.997, 0.03};
-            pc.nInit = std::max<std::uint64_t>(
-                ref.instructions / 1000 / 8, 60);
-
-            const core::SmartsProcedure proc(pc);
-            const auto factory = [&] {
-                return std::make_unique<core::SimSession>(spec, config);
-            };
-
-            // Initial run only (the figure's bars); procedure handles
-            // the rerun when needed.
-            const core::ProcedureResult result =
-                proc.estimate(factory, ref.instructions);
-
-            const auto &init = result.initial;
-            const double err = (init.cpi() - ref.cpi) / ref.cpi;
-            const double ci = init.cpiConfidenceInterval(0.997);
-            abs_err.add(std::abs(err));
+        for (std::size_t b = 0; b < suite.size(); ++b) {
+            const CellResult &cell = cells[m * suite.size() + b];
+            abs_err.add(std::abs(cell.err));
+            final_abs_err.add(cell.finalAbsErr);
             ++total;
-            // Sampling CI + the paper's ~2% empirical warming-bias
-            // budget.
-            const bool ok = std::abs(err) <= ci + 0.02;
-            ci_ok += ok ? 1 : 0;
+            ci_ok += cell.ok ? 1 : 0;
 
             std::string rerun_err = "-";
-            if (!result.metOnFirstTry()) {
+            if (cell.rerun) {
                 ++reruns;
-                const double terr =
-                    (result.tuned->cpi() - ref.cpi) / ref.cpi;
                 char buf[32];
                 std::snprintf(buf, sizeof(buf), "%+.2f%%",
-                              terr * 100.0);
+                              cell.rerunErr * 100.0);
                 rerun_err = buf;
             }
-            final_abs_err.add(
-                std::abs(result.final().cpi() - ref.cpi) / ref.cpi);
 
             table.row()
                 .add(config.name)
-                .add(spec.name)
-                .add(ref.cpi, 4)
-                .add(init.cpi(), 4)
-                .addPercent(err, 2)
-                .addPercent(ci, 2)
-                .add(ok ? "yes" : "NO")
+                .add(suite[b].name)
+                .add(cell.refCpi, 4)
+                .add(cell.initCpi, 4)
+                .addPercent(cell.err, 2)
+                .addPercent(cell.ci, 2)
+                .add(cell.ok ? "yes" : "NO")
                 .add(rerun_err);
-            std::printf(".");
-            std::fflush(stdout);
         }
-        std::printf("\n%s: initial-sample mean |error| = %.2f%%; "
+        std::printf("%s: initial-sample mean |error| = %.2f%%; "
                     "final (after n_tuned) mean |error| = %.2f%% over "
                     "%d benchmarks (paper final: 0.64%%); %d/%d within "
                     "CI+2%%; %d n_tuned reruns\n",

@@ -1,7 +1,10 @@
 /**
  * @file
  * Table 6 reproduction: wall-clock runtimes of detailed, functional
- * and SMARTS simulation per benchmark, plus the implied speedups.
+ * and SMARTS simulation per benchmark, plus the implied speedups —
+ * and the experiment engine's headline: a 2-config design study run
+ * as matched-pair multi-config jobs on the parallel ExperimentRunner
+ * versus the serial single-config path.
  *
  * Paper shape to match: SMARTS runs at roughly half the speed of
  * functional-only simulation (functional-warming bound) and achieves
@@ -11,16 +14,184 @@
  * to the paper's benchmark lengths using the measured mode rates —
  * at SPEC scale (tens of billions of instructions) the measured
  * rates imply the paper's ~35x regime.
+ *
+ * The design-study section measures the two costs the engine
+ * removes: the per-config functional-warming pass (one matched
+ * stream feeds both timing models) and the statistical overkill of
+ * independent per-config sampling (matched pairs put a tighter CI
+ * on the comparison with far fewer units). The engine's wall-clock
+ * speedup is the product of the per-thread sharing factor and the
+ * thread count; its estimates are bit-identical at any thread count
+ * (asserted here and in tests/test_exec.cc).
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench_common.hh"
 #include "core/perf_model.hh"
 #include "core/sampler.hh"
+#include "exec/experiment.hh"
 
 using namespace smarts;
 using namespace smarts::bench;
+
+namespace {
+
+/** Bit-exact fingerprint of a batch's estimates. */
+std::vector<std::uint64_t>
+fingerprint(const std::vector<exec::ExperimentResult> &results)
+{
+    std::vector<std::uint64_t> bits;
+    auto addDouble = [&bits](double v) {
+        std::uint64_t b;
+        std::memcpy(&b, &v, sizeof b);
+        bits.push_back(b);
+    };
+    for (const auto &r : results)
+        for (const auto &e : r.estimate.perConfig) {
+            bits.push_back(e.units());
+            addDouble(e.cpi());
+            addDouble(e.epi());
+            addDouble(e.cpiStats.variance());
+        }
+    return bits;
+}
+
+void
+designStudySection(const BenchOptions &opt)
+{
+    const auto cfg8 = uarch::MachineConfig::eightWay();
+    const auto cfg16 = uarch::MachineConfig::sixteenWay();
+    const auto suite = opt.suite();
+
+    std::printf("=== Design study: parallel matched-pair engine vs "
+                "serial single-config path ===\n\n");
+
+    // Serial path: the pre-engine workflow — one SimSession per
+    // (benchmark, config), each paying its own functional-warming
+    // pass, sampled densely (k=10) because independent runs need
+    // n units per config for a confident comparison.
+    struct SerialRow
+    {
+        double speedup = 0.0;
+        double deltaCi = 0.0; ///< independent-runs CI on the delta.
+        std::uint64_t units = 0;
+    };
+    std::vector<SerialRow> serialRows(suite.size());
+    double serialSeconds = 0.0;
+    {
+        const Stopwatch t;
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            core::SamplingConfig sc;
+            sc.unitSize = 1000;
+            sc.interval = 10;
+            sc.warming = core::WarmingMode::Functional;
+
+            sc.detailedWarming = recommendedW(cfg8);
+            core::SimSession s8(suite[i], cfg8);
+            const auto e8 = core::SystematicSampler(sc).run(s8);
+
+            sc.detailedWarming = recommendedW(cfg16);
+            core::SimSession s16(suite[i], cfg16);
+            const auto e16 = core::SystematicSampler(sc).run(s16);
+
+            serialRows[i].speedup = e8.cpi() / e16.cpi();
+            // Independent-runs CI on the CPI delta, relative to the
+            // 8-way baseline: root-sum-square of the two ABSOLUTE
+            // half-widths over cpi_8.
+            const double a = e8.cpiConfidenceInterval(0.997) * e8.cpi();
+            const double b =
+                e16.cpiConfidenceInterval(0.997) * e16.cpi();
+            serialRows[i].deltaCi = std::sqrt(a * a + b * b) / e8.cpi();
+            serialRows[i].units = e8.units() + e16.units();
+            std::printf(".");
+            std::fflush(stdout);
+        }
+        serialSeconds = t.seconds();
+    }
+
+    // Engine path: matched multi-config jobs — ONE warming stream
+    // feeds both timing models, and the matched-pair variance
+    // reduction lets k grow 3x while keeping the comparison CI at
+    // or below the serial path's.
+    std::vector<exec::ExperimentSpec> specs(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        specs[i].benchmark = suite[i];
+        specs[i].configs = {cfg8, cfg16};
+        specs[i].sampling.unitSize = 1000;
+        specs[i].sampling.detailedWarming =
+            std::max(recommendedW(cfg8), recommendedW(cfg16));
+        specs[i].sampling.interval = 30;
+        specs[i].sampling.warming = core::WarmingMode::Functional;
+    }
+
+    exec::ExperimentRunner runner; // one worker per hardware thread.
+    double engineSeconds = 0.0;
+    std::vector<exec::ExperimentResult> results;
+    {
+        const Stopwatch t;
+        results = runner.run(specs);
+        engineSeconds = t.seconds();
+    }
+    std::printf("\n\n");
+
+    TextTable table({"benchmark", "serial speedup", "+/- delta",
+                     "engine speedup", "+/- delta (matched)",
+                     "units serial", "units matched",
+                     "CI tighter?"});
+    int tighter = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const core::MatchedEstimate &est = results[i].estimate;
+        const double matchedCi = est.deltaCiRelative(1, 0.997);
+        const bool ok = matchedCi <= serialRows[i].deltaCi;
+        tighter += ok ? 1 : 0;
+        table.row()
+            .add(suite[i].name)
+            .add(serialRows[i].speedup, 3)
+            .addPercent(serialRows[i].deltaCi, 2)
+            .add(est.speedup(1), 3)
+            .addPercent(matchedCi, 2)
+            .add(serialRows[i].units)
+            .add(est.perConfig[0].units() * 2)
+            .add(ok ? "yes" : "NO");
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    // Determinism spot check: the same batch on 1 thread must give
+    // byte-identical estimates.
+    exec::ExperimentRunner oneThread(1);
+    const bool identical =
+        fingerprint(oneThread.run(specs)) == fingerprint(results);
+
+    const double speedup = serialSeconds / engineSeconds;
+    const double usableThreads = static_cast<double>(
+        std::min<std::size_t>(runner.threadCount(), suite.size()));
+    std::printf(
+        "serial path %.2fs; engine %.2fs on %u thread(s) -> "
+        "%.2fx wall-clock speedup\n"
+        "matched delta CI at-or-below the serial path's for %d/%zu "
+        "benchmarks with ~3x fewer sampled units (exceptions: "
+        "phase-alternating kernels decorrelate across configs, and "
+        "lopsided speedups leave the independent CI tiny anyway)\n"
+        "estimates bit-identical across thread counts: %s\n"
+        "target >=2x: %s (per-thread matched-sharing factor %.2fx "
+        "multiplies by the thread count; >=2 hardware threads puts "
+        "the target comfortably in reach)\n",
+        serialSeconds, engineSeconds, runner.threadCount(), speedup,
+        tighter, suite.size(), identical ? "yes" : "NO",
+        speedup >= 2.0 ? "MET"
+                       : (runner.threadCount() < 2
+                              ? "not met on this 1-thread host"
+                              : "NOT MET"),
+        speedup / usableThreads);
+    std::fflush(stdout);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -133,8 +304,10 @@ main(int argc, char **argv)
                 "(S_D ~ 1/20 vs 1/60), which caps our extrapolated "
                 "speedup proportionally — the rate decoupling the "
                 "paper predicts (Section 3.4) is exactly what the "
-                "S_FW column of the Figure 4 bench shows.\n",
+                "S_FW column of the Figure 4 bench shows.\n\n",
                 sum_det, sum_func, sum_smarts, sum_det / sum_smarts,
                 paper_scale_speedup.mean());
+
+    designStudySection(opt);
     return 0;
 }

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * ArchCore: the architectural half of a simulation session — program
+ * image, register file, PC, and the SISA interpreter. One ArchCore
+ * step stream is configuration-independent, which is what lets a
+ * single functional-warming pass feed any number of per-config
+ * timing models (core/timing.hh) in lockstep: interpret once, warm
+ * and time N machines.
+ */
+
+#ifndef SMARTS_CORE_ARCH_HH
+#define SMARTS_CORE_ARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sisa/encoding.hh"
+#include "util/logging.hh"
+#include "workloads/program.hh"
+
+namespace smarts::core {
+
+/** Everything a timing model needs to know about one executed inst. */
+struct StepInfo
+{
+    sisa::DecodedInst di;
+    std::uint32_t pc = 0;      ///< pc of the executed inst.
+    std::uint32_t memAddr = 0; ///< valid when di.isMem().
+    bool taken = false;        ///< valid when di.isBranch().
+    std::uint32_t nextPc = 0;
+};
+
+class ArchCore
+{
+  public:
+    explicit ArchCore(const workloads::BenchmarkSpec &spec)
+        : program_(workloads::buildProgram(spec)),
+          dataMask_(program_.dataBytes - 1),
+          pc_(program_.entryPc)
+    {
+        if (!program_.dataBytes ||
+            (program_.dataBytes & (program_.dataBytes - 1)))
+            SMARTS_FATAL("data footprint must be a power of two");
+        decoded_.reserve(program_.code.size());
+        for (const std::uint32_t word : program_.code)
+            decoded_.push_back(sisa::decode(word));
+    }
+
+    /** Execute one instruction architecturally. False at HALT/end. */
+    bool
+    step(StepInfo &info)
+    {
+        using sisa::Opcode;
+        if (finished_)
+            return false;
+        const std::uint32_t idx = (pc_ - workloads::kCodeBase) >> 2;
+        if (idx >= decoded_.size()) {
+            finished_ = true;
+            return false;
+        }
+        const sisa::DecodedInst di = decoded_[idx];
+        info.di = di;
+        info.pc = pc_;
+        info.taken = false;
+        std::uint32_t next = pc_ + 4;
+
+        auto setReg = [this](unsigned r, std::uint32_t v) {
+            if (r)
+                regs_[r] = v;
+        };
+        const std::uint32_t vb = regs_[di.b];
+        const std::uint32_t uimm =
+            static_cast<std::uint32_t>(di.imm) & 0xffffu;
+
+        switch (di.op) {
+          case Opcode::ADD:
+            setReg(di.a, vb + regs_[di.c]);
+            break;
+          case Opcode::SUB:
+            setReg(di.a, vb - regs_[di.c]);
+            break;
+          case Opcode::MUL:
+            setReg(di.a, vb * regs_[di.c]);
+            break;
+          case Opcode::AND:
+            setReg(di.a, vb & regs_[di.c]);
+            break;
+          case Opcode::OR:
+            setReg(di.a, vb | regs_[di.c]);
+            break;
+          case Opcode::XOR:
+            setReg(di.a, vb ^ regs_[di.c]);
+            break;
+          case Opcode::SLT:
+            setReg(di.a, static_cast<std::int32_t>(vb) <
+                                 static_cast<std::int32_t>(regs_[di.c])
+                             ? 1
+                             : 0);
+            break;
+          case Opcode::ADDI:
+            setReg(di.a, vb + static_cast<std::uint32_t>(di.imm));
+            break;
+          case Opcode::ANDI:
+            setReg(di.a, vb & uimm);
+            break;
+          case Opcode::ORI:
+            setReg(di.a, vb | uimm);
+            break;
+          case Opcode::SHLI:
+            setReg(di.a, vb << (di.imm & 31));
+            break;
+          case Opcode::SHRI:
+            setReg(di.a, vb >> (di.imm & 31));
+            break;
+          case Opcode::LUI:
+            setReg(di.a, uimm << 16);
+            break;
+          case Opcode::LD:
+            info.memAddr = vb + static_cast<std::uint32_t>(di.imm);
+            setReg(di.a, loadWord(info.memAddr));
+            break;
+          case Opcode::ST:
+            info.memAddr = vb + static_cast<std::uint32_t>(di.imm);
+            storeWord(info.memAddr, regs_[di.a]);
+            break;
+          case Opcode::BEQ:
+            info.taken = regs_[di.a] == vb;
+            break;
+          case Opcode::BNE:
+            info.taken = regs_[di.a] != vb;
+            break;
+          case Opcode::BLT:
+            info.taken = static_cast<std::int32_t>(regs_[di.a]) <
+                         static_cast<std::int32_t>(vb);
+            break;
+          case Opcode::BGE:
+            info.taken = static_cast<std::int32_t>(regs_[di.a]) >=
+                         static_cast<std::int32_t>(vb);
+            break;
+          case Opcode::JAL:
+            info.taken = true;
+            setReg(di.a, pc_ + 4);
+            next = di.branchTarget(pc_);
+            break;
+          case Opcode::JR:
+            info.taken = true;
+            next = regs_[di.a];
+            break;
+          case Opcode::HALT:
+            finished_ = true;
+            return false;
+          case Opcode::NOP:
+          default:
+            break;
+        }
+        if (di.isCondBranch() && info.taken)
+            next = di.branchTarget(pc_);
+
+        info.nextPc = next;
+        pc_ = next;
+        ++instCount_;
+        return true;
+    }
+
+    bool
+    finished() const
+    {
+        return finished_;
+    }
+
+    /** Instructions executed so far, all modes. */
+    std::uint64_t
+    instCount() const
+    {
+        return instCount_;
+    }
+
+    std::uint32_t
+    pc() const
+    {
+        return pc_;
+    }
+
+  private:
+    std::uint32_t
+    loadWord(std::uint32_t addr) const
+    {
+        return program_
+            .data[((addr - workloads::kDataBase) & dataMask_) >> 2];
+    }
+
+    void
+    storeWord(std::uint32_t addr, std::uint32_t value)
+    {
+        program_
+            .data[((addr - workloads::kDataBase) & dataMask_) >> 2] =
+            value;
+    }
+
+    workloads::Program program_;
+    std::vector<sisa::DecodedInst> decoded_; ///< predecoded code.
+    std::uint32_t dataMask_;
+
+    std::uint32_t regs_[32] = {};
+    std::uint32_t pc_;
+    bool finished_ = false;
+    std::uint64_t instCount_ = 0;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_ARCH_HH

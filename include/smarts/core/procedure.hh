@@ -48,11 +48,33 @@ struct ProcedureResult
     }
 };
 
+/** Two-pass result for a matched multi-config run. */
+struct MatchedProcedureResult
+{
+    MatchedEstimate initial;
+    std::optional<MatchedEstimate> tuned;
+    std::uint64_t recommendedN = 0; ///< n_tuned from the worst V-hat.
+
+    bool
+    metOnFirstTry() const
+    {
+        return !tuned.has_value();
+    }
+
+    const MatchedEstimate &
+    final() const
+    {
+        return tuned ? *tuned : initial;
+    }
+};
+
 class SmartsProcedure
 {
   public:
     using SessionFactory =
         std::function<std::unique_ptr<SimSession>()>;
+    using MultiSessionFactory =
+        std::function<std::unique_ptr<MultiSession>()>;
 
     explicit SmartsProcedure(const ProcedureConfig &config);
 
@@ -63,6 +85,16 @@ class SmartsProcedure
      */
     ProcedureResult estimate(const SessionFactory &factory,
                              std::uint64_t streamLength) const;
+
+    /**
+     * Matched multi-config variant: one functional-warming stream
+     * per pass feeds every config. n_tuned is sized from the worst
+     * per-config V-hat, so the rerun (when needed) brings every
+     * config inside the target.
+     */
+    MatchedProcedureResult
+    estimateMatched(const MultiSessionFactory &factory,
+                    std::uint64_t streamLength) const;
 
   private:
     ProcedureConfig config_;

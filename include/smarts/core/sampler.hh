@@ -12,8 +12,11 @@
 #ifndef SMARTS_CORE_SAMPLER_HH
 #define SMARTS_CORE_SAMPLER_HH
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
+#include "core/multi_session.hh"
 #include "core/session.hh"
 #include "stats/confidence.hh"
 #include "stats/online_stats.hh"
@@ -108,6 +111,77 @@ struct SmartsEstimate
     }
 };
 
+/**
+ * A matched multi-config estimate: per-config SmartsEstimates whose
+ * sampled units are the identical instruction windows, plus the
+ * per-unit CPI-difference statistics against config 0. Matched pairs
+ * cancel the shared per-unit variance, so the confidence interval on
+ * a design comparison (the delta, or the speedup) is far tighter
+ * than combining two independent per-config intervals.
+ */
+struct MatchedEstimate
+{
+    std::vector<SmartsEstimate> perConfig;
+
+    /** Per-unit (cpi_i - cpi_0) stats; index 0 is all-zero deltas. */
+    std::vector<stats::OnlineStats> cpiDelta;
+
+    /**
+     * Point estimate of config @p i's speedup over config 0
+     * (cpi_0 / cpi_i: above 1 when config i is the faster machine).
+     */
+    double
+    speedup(std::size_t i) const
+    {
+        return perConfig[i].cpi() != 0.0
+                   ? perConfig[0].cpi() / perConfig[i].cpi()
+                   : 0.0;
+    }
+
+    /**
+     * Absolute CI half-width on the mean CPI delta (config @p i
+     * minus config 0) at @p level, from the matched per-unit pairs.
+     */
+    double
+    deltaCiAbs(std::size_t i, double level) const
+    {
+        return stats::zScore(level) * cpiDelta[i].meanError();
+    }
+
+    /**
+     * CI half-width on the delta relative to config 0's CPI — the
+     * number to compare against an unmatched two-run CI, which is
+     * sqrt(ci_0^2 + ci_i^2) in the same units.
+     */
+    double
+    deltaCiRelative(std::size_t i, double level) const
+    {
+        return perConfig[0].cpi() != 0.0
+                   ? deltaCiAbs(i, level) / perConfig[0].cpi()
+                   : 0.0;
+    }
+
+    /**
+     * What an unmatched (independent per-config runs) design
+     * comparison would put on the same delta, relative to config 0:
+     * the root-sum-square of the two per-config ABSOLUTE half-widths
+     * (each relative CI rescaled by its own mean), over cpi_0.
+     */
+    double
+    independentDeltaCiRelative(std::size_t i, double level) const
+    {
+        if (perConfig[0].cpi() == 0.0)
+            return 0.0;
+        const double a =
+            perConfig[0].cpiConfidenceInterval(level) *
+            perConfig[0].cpi();
+        const double b =
+            perConfig[i].cpiConfidenceInterval(level) *
+            perConfig[i].cpi();
+        return std::sqrt(a * a + b * b) / perConfig[0].cpi();
+    }
+};
+
 class SystematicSampler
 {
   public:
@@ -115,6 +189,13 @@ class SystematicSampler
 
     /** Run the session to end of stream, sampling systematically. */
     SmartsEstimate run(SimSession &session) const;
+
+    /**
+     * Matched-pair run: sample the shared stream once, measuring
+     * every config of @p session on the identical units. One
+     * functional-warming pass feeds all N timing models.
+     */
+    MatchedEstimate runMatched(MultiSession &session) const;
 
   private:
     SamplingConfig config_;

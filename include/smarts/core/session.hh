@@ -8,6 +8,11 @@
  * energy model). All modes share one architectural and one
  * microarchitectural state, so interleaving them implements the
  * SMARTS measurement cycle.
+ *
+ * Internally a SimSession is an ArchCore (core/arch.hh) driving one
+ * TimingModel (core/timing.hh); MultiSession (core/multi_session.hh)
+ * drives N TimingModels from the same stream for matched-pair
+ * multi-config studies.
  */
 
 #ifndef SMARTS_CORE_SESSION_HH
@@ -16,40 +21,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "bpred/branch_unit.hh"
-#include "mem/hierarchy.hh"
-#include "sisa/encoding.hh"
+#include "core/arch.hh"
+#include "core/timing.hh"
 #include "uarch/config.hh"
 #include "workloads/program.hh"
 
 namespace smarts::core {
-
-/** What state fast-forwarding keeps warm (paper Section 4). */
-enum class WarmingMode
-{
-    None,       ///< architectural state only (plain fast-forward).
-    CachesOnly, ///< caches + TLBs, predictors stale.
-    BpredOnly,  ///< predictors, caches stale.
-    Functional, ///< the paper's functional warming: everything.
-};
-
-/** One detailed-simulation segment's measurements. */
-struct Segment
-{
-    std::uint64_t instructions = 0;
-    std::uint64_t cycles = 0;
-    double energyNj = 0.0;
-};
-
-/** Cumulative event counters (all modes). */
-struct Activity
-{
-    std::uint64_t branches = 0;
-    std::uint64_t bpredLookups = 0;
-    std::uint64_t bpredMispredicts = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-};
 
 class SimSession
 {
@@ -79,82 +56,51 @@ class SimSession
     bool
     finished() const
     {
-        return finished_;
+        return arch_.finished();
     }
 
     /** Instructions executed so far, all modes. */
     std::uint64_t
     instCount() const
     {
-        return instCount_;
+        return arch_.instCount();
     }
 
     /** Exact detailed cycles so far (fractional issue slots kept). */
     double
     cycleCount() const
     {
-        return cycles_;
+        return model_.cycleCount();
     }
 
     /** Detailed energy so far, nanojoules. */
     double
     energyCount() const
     {
-        return energyNj_;
+        return model_.energyCount();
     }
 
     const Activity &
     activity() const
     {
-        return activity_;
+        return model_.activity();
     }
 
     std::uint32_t
     pc() const
     {
-        return pc_;
+        return arch_.pc();
     }
 
     const uarch::MachineConfig &
     config() const
     {
-        return config_;
+        return model_.config();
     }
 
   private:
-    struct StepInfo
-    {
-        sisa::DecodedInst di;
-        std::uint32_t pc = 0;       ///< pc of the executed inst.
-        std::uint32_t memAddr = 0;  ///< valid when di.isMem().
-        bool taken = false;         ///< valid when di.isBranch().
-        std::uint32_t nextPc = 0;
-    };
-
-    /** Execute one instruction architecturally. False at HALT/end. */
-    bool step(StepInfo &info);
-
-    std::uint32_t loadWord(std::uint32_t addr) const;
-    void storeWord(std::uint32_t addr, std::uint32_t value);
-
-    uarch::MachineConfig config_;
-    workloads::Program program_;
-    std::vector<sisa::DecodedInst> decoded_; ///< predecoded code.
-    std::uint32_t dataMask_;
-
-    std::uint32_t regs_[32] = {};
-    std::uint32_t pc_;
-    bool finished_ = false;
-
-    mem::MemHierarchy hierarchy_;
-    bpred::BranchUnit bpred_;
-
-    std::uint64_t instCount_ = 0;
-    double cycles_ = 0.0;
-    double energyNj_ = 0.0;
-    std::uint32_t fetchLineShift_ = 6; ///< log2(L1I line bytes).
-    std::uint32_t lastFetchLine_ = ~0u;
-    Activity activity_;
+    ArchCore arch_;
+    TimingModel model_;
 };
 
 } // namespace smarts::core

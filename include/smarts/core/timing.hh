@@ -1,0 +1,250 @@
+/**
+ * @file
+ * TimingModel: the microarchitectural half of a simulation session —
+ * one MachineConfig's caches, TLBs, branch predictor, cycle and
+ * energy accumulators. A TimingModel consumes the StepInfo stream an
+ * ArchCore produces, either warming long-history state (functional
+ * warming, no timing) or charging the full detailed timing model.
+ * Several TimingModels can consume the same stream, which is how
+ * matched-pair multi-config sampling amortizes the functional
+ * warming pass the paper's Table 6 identifies as the dominant cost.
+ */
+
+#ifndef SMARTS_CORE_TIMING_HH
+#define SMARTS_CORE_TIMING_HH
+
+#include <cstdint>
+
+#include "bpred/branch_unit.hh"
+#include "core/arch.hh"
+#include "mem/hierarchy.hh"
+#include "uarch/config.hh"
+
+namespace smarts::core {
+
+/** What state fast-forwarding keeps warm (paper Section 4). */
+enum class WarmingMode
+{
+    None,       ///< architectural state only (plain fast-forward).
+    CachesOnly, ///< caches + TLBs, predictors stale.
+    BpredOnly,  ///< predictors, caches stale.
+    Functional, ///< the paper's functional warming: everything.
+};
+
+constexpr bool
+warmsCaches(WarmingMode mode)
+{
+    return mode == WarmingMode::CachesOnly ||
+           mode == WarmingMode::Functional;
+}
+
+constexpr bool
+warmsBpred(WarmingMode mode)
+{
+    return mode == WarmingMode::BpredOnly ||
+           mode == WarmingMode::Functional;
+}
+
+/** One detailed-simulation segment's measurements. */
+struct Segment
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double energyNj = 0.0;
+};
+
+/** Cumulative event counters (all modes). */
+struct Activity
+{
+    std::uint64_t branches = 0;
+    std::uint64_t bpredLookups = 0;
+    std::uint64_t bpredMispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+};
+
+class TimingModel
+{
+  public:
+    explicit TimingModel(const uarch::MachineConfig &config)
+        : config_(config),
+          hierarchy_(config.mem),
+          bpred_(config.bpred),
+          invWidth_(1.0 / config.width)
+    {
+        fetchLineShift_ = 0;
+        while ((1u << fetchLineShift_) < config_.mem.l1i.lineBytes)
+            ++fetchLineShift_;
+    }
+
+    /** Consume one instruction in a fast-forward (warming) mode. */
+    void
+    warm(const StepInfo &info, bool warmCaches, bool warmBpred)
+    {
+        if (warmCaches) {
+            const std::uint32_t line = info.pc >> fetchLineShift_;
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                hierarchy_.warmFetch(info.pc);
+            }
+            if (info.di.isLoad())
+                hierarchy_.warmLoad(info.memAddr);
+            else if (info.di.isStore())
+                hierarchy_.warmStore(info.memAddr);
+        }
+        if (info.di.isLoad())
+            ++activity_.loads;
+        else if (info.di.isStore())
+            ++activity_.stores;
+        else if (info.di.isBranch()) {
+            ++activity_.branches;
+            if (warmBpred) {
+                // Mirror the detailed core's RAS traffic: predict()
+                // pops on returns there, so warming must pop too or
+                // the stack depth drifts across warming gaps.
+                if (info.di.op == sisa::Opcode::JR && info.di.a == 31)
+                    bpred_.popReturn();
+                bpred_.update(info.pc, info.di, info.taken,
+                              info.nextPc);
+            }
+        }
+    }
+
+    /** Consume one instruction with the full detailed timing model. */
+    void
+    detailedStep(const StepInfo &info)
+    {
+        const auto &energy = config_.energy;
+        cycles_ += invWidth_;
+        energyNj_ += energy.perInst;
+
+        auto chargeMem = [&](const mem::MemResult &r) {
+            energyNj_ += energy.l1Access;
+            if (r.level != mem::ServedBy::L1)
+                energyNj_ += energy.l2Access;
+            if (r.level == mem::ServedBy::Memory)
+                energyNj_ += energy.memAccess;
+        };
+
+        // Front end: one I-cache access per fetched line.
+        const std::uint32_t line = info.pc >> fetchLineShift_;
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            const mem::MemResult f = hierarchy_.fetch(info.pc);
+            chargeMem(f);
+            if (f.latency > config_.mem.l1i.latency)
+                cycles_ += f.latency - config_.mem.l1i.latency;
+        }
+
+        if (info.di.isLoad()) {
+            ++activity_.loads;
+            const mem::MemResult r = hierarchy_.load(info.memAddr);
+            chargeMem(r);
+            if (r.latency > config_.mem.l1d.latency)
+                cycles_ += (r.latency - config_.mem.l1d.latency) *
+                           config_.loadStallFactor;
+        } else if (info.di.isStore()) {
+            ++activity_.stores;
+            const mem::MemResult r = hierarchy_.store(info.memAddr);
+            chargeMem(r);
+            if (r.latency > config_.mem.l1d.latency)
+                cycles_ += (r.latency - config_.mem.l1d.latency) *
+                           config_.storeStallFactor;
+        } else if (info.di.isBranch()) {
+            ++activity_.branches;
+            ++activity_.bpredLookups;
+            const bpred::Prediction p = bpred_.predict(info.pc, info.di);
+            energyNj_ += energy.bpredAccess;
+            const bool mispredict =
+                p.taken != info.taken ||
+                (info.taken && p.target != info.nextPc);
+            if (mispredict) {
+                ++activity_.bpredMispredicts;
+                cycles_ += config_.pipelineDepth;
+                if (config_.modelWrongPath) {
+                    // The front end ran down the predicted (wrong)
+                    // path: pollute the I-side and refetch after
+                    // the redirect.
+                    const std::uint32_t wrong =
+                        p.taken ? p.target : info.pc + 4;
+                    for (std::uint32_t i = 0;
+                         i < config_.wrongPathFetches; ++i)
+                        hierarchy_.warmFetch(
+                            wrong + i * config_.mem.l1i.lineBytes);
+                    lastFetchLine_ = ~0u;
+                }
+            }
+            bpred_.update(info.pc, info.di, info.taken, info.nextPc);
+        }
+    }
+
+    /** Bracketing state for one detailed segment's measurements. */
+    struct SegmentMark
+    {
+        std::uint64_t cyclesBefore = 0;
+        double cyclesStart = 0.0;
+        double energyBefore = 0.0;
+    };
+
+    SegmentMark
+    beginSegment() const
+    {
+        return {static_cast<std::uint64_t>(cycles_), cycles_,
+                energyNj_};
+    }
+
+    /** Charge per-cycle energy for the segment and extract it. */
+    Segment
+    endSegment(const SegmentMark &mark, std::uint64_t executed)
+    {
+        energyNj_ +=
+            config_.energy.perCycle * (cycles_ - mark.cyclesStart);
+        Segment seg;
+        seg.instructions = executed;
+        seg.cycles =
+            static_cast<std::uint64_t>(cycles_) - mark.cyclesBefore;
+        seg.energyNj = energyNj_ - mark.energyBefore;
+        return seg;
+    }
+
+    /** Exact detailed cycles so far (fractional issue slots kept). */
+    double
+    cycleCount() const
+    {
+        return cycles_;
+    }
+
+    /** Detailed energy so far, nanojoules. */
+    double
+    energyCount() const
+    {
+        return energyNj_;
+    }
+
+    const Activity &
+    activity() const
+    {
+        return activity_;
+    }
+
+    const uarch::MachineConfig &
+    config() const
+    {
+        return config_;
+    }
+
+  private:
+    uarch::MachineConfig config_;
+    mem::MemHierarchy hierarchy_;
+    bpred::BranchUnit bpred_;
+    double invWidth_;
+    double cycles_ = 0.0;
+    double energyNj_ = 0.0;
+    std::uint32_t fetchLineShift_ = 6; ///< log2(L1I line bytes).
+    std::uint32_t lastFetchLine_ = ~0u;
+    Activity activity_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_TIMING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ExperimentRunner: the batch engine for SMARTS experiment grids.
+ * A batch is a vector of ExperimentSpecs — (benchmark, one or more
+ * machine configs, sampling design) cells. Jobs are sharded across a
+ * work-stealing ThreadPool; a spec with N > 1 configs runs as ONE
+ * matched multi-config job whose single functional-warming stream
+ * feeds all N timing models (amortizing the cost the paper's
+ * Table 6 shows dominates sampled simulation).
+ *
+ * Determinism: every job derives its RNG seed from the spec and its
+ * batch index alone (never from thread identity or submission
+ * timing) and writes only its own result slot, so a batch's
+ * estimates are bit-identical at any thread count.
+ */
+
+#ifndef SMARTS_EXEC_EXPERIMENT_HH
+#define SMARTS_EXEC_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampler.hh"
+#include "exec/thread_pool.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+namespace smarts::exec {
+
+/** One experiment cell: benchmark x config set x sampling design. */
+struct ExperimentSpec
+{
+    workloads::BenchmarkSpec benchmark;
+    std::vector<uarch::MachineConfig> configs; ///< >1 => matched.
+    core::SamplingConfig sampling;
+
+    /**
+     * Draw the sampling offset j uniformly from [0, interval) using
+     * the job's deterministic RNG (the paper's random phase j).
+     */
+    bool randomizeOffset = false;
+
+    /** Folded into the per-job RNG seed (for replicated designs). */
+    std::uint64_t seedSalt = 0;
+};
+
+struct ExperimentResult
+{
+    std::size_t index = 0; ///< position in the submitted batch.
+    core::MatchedEstimate estimate; ///< perConfig parallels configs.
+    std::uint64_t rngSeed = 0; ///< the job's derived seed.
+    double seconds = 0.0; ///< wall clock of this job alone.
+};
+
+class ExperimentRunner
+{
+  public:
+    /** @p threads = 0 means one worker per hardware thread. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    /**
+     * Run every spec to completion; results are indexed like the
+     * input batch regardless of scheduling order.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs);
+
+    unsigned
+    threadCount() const
+    {
+        return pool_.threadCount();
+    }
+
+    /** The deterministic seed job @p index of a batch would get. */
+    static std::uint64_t jobSeed(const ExperimentSpec &spec,
+                                 std::size_t index);
+
+    /** The pool, for benches that shard non-sampling work too. */
+    ThreadPool &
+    pool()
+    {
+        return pool_;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace smarts::exec
+
+#endif // SMARTS_EXEC_EXPERIMENT_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ThreadPool: a work-stealing pool for sharding independent
+ * simulation jobs across hardware threads. Each worker owns a deque;
+ * it pops its own work LIFO (cache-warm) and steals FIFO from the
+ * other workers when idle. Jobs must not throw. Scheduling order is
+ * nondeterministic by design — determinism lives one level up:
+ * every job writes only its own result slot and derives any
+ * randomness from a seed that depends on the job alone, so a batch's
+ * results are bit-identical at any thread count.
+ */
+
+#ifndef SMARTS_EXEC_THREAD_POOL_HH
+#define SMARTS_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smarts::exec {
+
+class ThreadPool
+{
+  public:
+    /** @p threads = 0 means one worker per hardware thread. */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains remaining work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job; pair with wait() to block on completion. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Hardware concurrency, never reported as 0. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> queue;
+    };
+
+    bool popOwn(std::size_t self, std::function<void()> &job);
+    bool steal(std::size_t self, std::function<void()> &job);
+    void workerLoop(std::size_t self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex signalMutex_;
+    std::condition_variable workSignal_;   ///< new work or shutdown.
+    std::condition_variable idleSignal_;   ///< pending_ reached zero.
+    std::uint64_t signalEpoch_ = 0;        ///< bumped per submit.
+    std::size_t pending_ = 0;              ///< submitted, not finished.
+    std::size_t nextQueue_ = 0;            ///< round-robin submit.
+    bool stop_ = false;
+};
+
+/**
+ * Run @p fn(0..n-1) across the pool and block until all complete.
+ * Each index must touch only its own outputs.
+ */
+template <typename Fn>
+void
+parallelForIndexed(ThreadPool &pool, std::size_t n, Fn fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace smarts::exec
+
+#endif // SMARTS_EXEC_THREAD_POOL_HH

@@ -49,6 +49,7 @@ class Cache
         tags_.assign(static_cast<std::size_t>(sets_) * config.assoc, 0);
         valid_.assign(tags_.size(), 0);
         lastUse_.assign(tags_.size(), 0);
+        mruWay_.assign(sets_, 0);
     }
 
     /**
@@ -66,11 +67,21 @@ class Cache
             static_cast<std::size_t>(set) * config_.assoc;
         ++tick_;
 
+        // MRU fast path: a re-reference of the set's most recent
+        // line needs only its recency stamp refreshed. Exactly
+        // equivalent to the full scan (a hit never changes victims).
+        const std::size_t mru = base + mruWay_[set];
+        if (valid_[mru] && tags_[mru] == line) {
+            lastUse_[mru] = tick_;
+            return {true};
+        }
+
         std::size_t victim = base;
         std::uint64_t oldest = ~0ull;
         for (std::size_t w = base; w < base + config_.assoc; ++w) {
             if (valid_[w] && tags_[w] == line) {
                 lastUse_[w] = tick_;
+                mruWay_[set] = static_cast<std::uint32_t>(w - base);
                 return {true};
             }
             if (lastUse_[w] < oldest) {
@@ -82,6 +93,7 @@ class Cache
         tags_[victim] = line;
         valid_[victim] = 1;
         lastUse_[victim] = tick_;
+        mruWay_[set] = static_cast<std::uint32_t>(victim - base);
         return {false};
     }
 
@@ -104,6 +116,7 @@ class Cache
     {
         std::fill(valid_.begin(), valid_.end(), 0);
         std::fill(lastUse_.begin(), lastUse_.end(), 0);
+        std::fill(mruWay_.begin(), mruWay_.end(), 0);
         tick_ = loads_ = stores_ = misses_ = 0;
     }
 
@@ -120,6 +133,7 @@ class Cache
     std::vector<std::uint32_t> tags_;
     std::vector<std::uint8_t> valid_;
     std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint32_t> mruWay_; ///< per-set MRU fast path.
     std::uint64_t tick_ = 0;
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

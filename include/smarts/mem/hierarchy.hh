@@ -48,15 +48,32 @@ struct MemResult
     bool tlbMiss = false;
 };
 
-/** Tiny fully-associative LRU TLB. */
+/**
+ * Tiny fully-associative true-LRU TLB. LRU order lives in an
+ * intrusive doubly-linked list and lookups go through a small
+ * open-addressing page index, so hits and misses are O(1) instead
+ * of a scan of every entry — the TLB is touched by every warm and
+ * detailed memory access, so this is squarely on the functional-
+ * warming hot path. Hit/miss/eviction sequences are identical to
+ * the scan-based implementation (true LRU either way).
+ */
 class Tlb
 {
   public:
     explicit Tlb(const TlbConfig &config) : config_(config)
     {
+        if (!config.entries)
+            SMARTS_FATAL("TLB needs at least one entry");
         pages_.assign(config.entries, 0);
         valid_.assign(config.entries, 0);
-        lastUse_.assign(config.entries, 0);
+        next_.assign(config.entries, 0);
+        prev_.assign(config.entries, 0);
+        slots_ = 4;
+        while (slots_ < 4 * config.entries)
+            slots_ <<= 1;
+        keys_.assign(slots_, 0); ///< page + 1; 0 marks empty.
+        vals_.assign(slots_, 0);
+        initList();
     }
 
     /** Returns true on a miss (and fills). */
@@ -64,23 +81,22 @@ class Tlb
     access(std::uint32_t addr)
     {
         const std::uint32_t page = addr / config_.pageBytes;
-        ++tick_;
-        std::size_t victim = 0;
-        std::uint64_t oldest = ~0ull;
-        for (std::size_t i = 0; i < pages_.size(); ++i) {
-            if (valid_[i] && pages_[i] == page) {
-                lastUse_[i] = tick_;
-                return false;
-            }
-            if (lastUse_[i] < oldest) {
-                oldest = lastUse_[i];
-                victim = i;
-            }
+        // MRU fast path: consecutive same-page references.
+        if (valid_[head_] && pages_[head_] == page)
+            return false;
+        const std::size_t slot = find(page);
+        if (slot != kNone) {
+            moveToFront(static_cast<std::uint32_t>(slot));
+            return false;
         }
         ++misses_;
+        const std::uint32_t victim = tail_; ///< LRU (or unfilled).
+        if (valid_[victim])
+            erase(pages_[victim]);
         pages_[victim] = page;
         valid_[victim] = 1;
-        lastUse_[victim] = tick_;
+        insert(page, victim);
+        moveToFront(victim);
         return true;
     }
 
@@ -88,19 +104,116 @@ class Tlb
     reset()
     {
         std::fill(valid_.begin(), valid_.end(), 0);
-        std::fill(lastUse_.begin(), lastUse_.end(), 0);
-        tick_ = misses_ = 0;
+        std::fill(keys_.begin(), keys_.end(), 0);
+        initList();
+        misses_ = 0;
     }
 
     std::uint64_t misses() const { return misses_; }
     const TlbConfig &config() const { return config_; }
 
   private:
+    static constexpr std::size_t kNone = ~std::size_t(0);
+
+    void
+    initList()
+    {
+        const std::uint32_t n = config_.entries;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            next_[i] = (i + 1) % n;
+            prev_[i] = (i + n - 1) % n;
+        }
+        head_ = 0;
+        tail_ = n - 1;
+    }
+
+    /** Move entry @p e to the MRU end of the list. */
+    void
+    moveToFront(std::uint32_t e)
+    {
+        if (e == head_)
+            return;
+        if (e == tail_) {
+            // The list is circular: rotating the head/tail markers
+            // suffices when touching the tail.
+            head_ = e;
+            tail_ = prev_[e];
+            return;
+        }
+        next_[prev_[e]] = next_[e];
+        prev_[next_[e]] = prev_[e];
+        prev_[e] = tail_;
+        next_[e] = head_;
+        next_[tail_] = e;
+        prev_[head_] = e;
+        head_ = e;
+    }
+
+    std::size_t
+    hashSlot(std::uint32_t page) const
+    {
+        // Fibonacci hashing spreads consecutive pages well.
+        return (page * 2654435761u) & (slots_ - 1);
+    }
+
+    std::size_t
+    find(std::uint32_t page) const
+    {
+        std::size_t s = hashSlot(page);
+        while (keys_[s]) {
+            if (keys_[s] == page + 1)
+                return vals_[s];
+            s = (s + 1) & (slots_ - 1);
+        }
+        return kNone;
+    }
+
+    void
+    insert(std::uint32_t page, std::uint32_t entry)
+    {
+        std::size_t s = hashSlot(page);
+        while (keys_[s])
+            s = (s + 1) & (slots_ - 1);
+        keys_[s] = page + 1;
+        vals_[s] = entry;
+    }
+
+    void
+    erase(std::uint32_t page)
+    {
+        std::size_t s = hashSlot(page);
+        while (keys_[s] != page + 1)
+            s = (s + 1) & (slots_ - 1);
+        // Backward-shift deletion keeps probe chains intact.
+        std::size_t hole = s;
+        for (;;) {
+            s = (s + 1) & (slots_ - 1);
+            if (!keys_[s])
+                break;
+            const std::size_t home = hashSlot(keys_[s] - 1);
+            // Can this key legally move into the hole?
+            const bool movable =
+                ((s - home) & (slots_ - 1)) >=
+                ((s - hole) & (slots_ - 1));
+            if (movable) {
+                keys_[hole] = keys_[s];
+                vals_[hole] = vals_[s];
+                hole = s;
+            }
+        }
+        keys_[hole] = 0;
+    }
+
     TlbConfig config_;
     std::vector<std::uint32_t> pages_;
     std::vector<std::uint8_t> valid_;
-    std::vector<std::uint64_t> lastUse_;
-    std::uint64_t tick_ = 0;
+    std::vector<std::uint32_t> next_; ///< intrusive LRU list.
+    std::vector<std::uint32_t> prev_;
+    std::uint32_t head_ = 0; ///< MRU entry.
+    std::uint32_t tail_ = 0; ///< LRU entry (eviction victim).
+    std::size_t slots_ = 0;  ///< power-of-two hash capacity.
+    std::vector<std::uint32_t> keys_;
+    std::vector<std::uint32_t> vals_;
     std::uint64_t misses_ = 0;
 };
 

@@ -1,0 +1,63 @@
+#include "core/multi_session.hh"
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+MultiSession::MultiSession(
+    const workloads::BenchmarkSpec &spec,
+    const std::vector<uarch::MachineConfig> &configs)
+    : arch_(spec)
+{
+    if (configs.empty())
+        SMARTS_FATAL("MultiSession needs at least one machine config");
+    models_.reserve(configs.size());
+    for (const auto &config : configs)
+        models_.emplace_back(config);
+}
+
+std::uint64_t
+MultiSession::fastForward(std::uint64_t maxInsts, WarmingMode mode)
+{
+    const bool warmCaches = warmsCaches(mode);
+    const bool warmBpred = warmsBpred(mode);
+
+    std::uint64_t executed = 0;
+    StepInfo info;
+    while (executed < maxInsts) {
+        if (!arch_.step(info))
+            break;
+        ++executed;
+        for (TimingModel &model : models_)
+            model.warm(info, warmCaches, warmBpred);
+    }
+    return executed;
+}
+
+MultiSegment
+MultiSession::detailedRun(std::uint64_t maxInsts)
+{
+    std::vector<TimingModel::SegmentMark> marks;
+    marks.reserve(models_.size());
+    for (const TimingModel &model : models_)
+        marks.push_back(model.beginSegment());
+
+    std::uint64_t executed = 0;
+    StepInfo info;
+    while (executed < maxInsts) {
+        if (!arch_.step(info))
+            break;
+        ++executed;
+        for (TimingModel &model : models_)
+            model.detailedStep(info);
+    }
+
+    MultiSegment seg;
+    seg.instructions = executed;
+    seg.per.reserve(models_.size());
+    for (std::size_t i = 0; i < models_.size(); ++i)
+        seg.per.push_back(models_[i].endSegment(marks[i], executed));
+    return seg;
+}
+
+} // namespace smarts::core

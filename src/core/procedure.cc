@@ -1,5 +1,7 @@
 #include "core/procedure.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace smarts::core {
@@ -41,6 +43,44 @@ SmartsProcedure::estimate(const SessionFactory &factory,
         streamLength, config_.unitSize, result.recommendedN);
     auto session = factory();
     result.tuned = SystematicSampler(sc).run(*session);
+    return result;
+}
+
+MatchedProcedureResult
+SmartsProcedure::estimateMatched(const MultiSessionFactory &factory,
+                                 std::uint64_t streamLength) const
+{
+    SamplingConfig sc;
+    sc.unitSize = config_.unitSize;
+    sc.detailedWarming = config_.detailedWarming;
+    sc.warming = config_.warming;
+    sc.interval = SamplingConfig::chooseInterval(
+        streamLength, config_.unitSize, config_.nInit);
+
+    MatchedProcedureResult result;
+    {
+        auto session = factory();
+        result.initial = SystematicSampler(sc).runMatched(*session);
+    }
+
+    // Size n_tuned from the worst per-config V-hat; rerun only when
+    // any config's confidence interval misses the target.
+    double worstCv = 0.0;
+    double worstCi = 0.0;
+    for (const SmartsEstimate &est : result.initial.perConfig) {
+        worstCv = std::max(worstCv, est.cpiCv());
+        worstCi = std::max(
+            worstCi, est.cpiConfidenceInterval(config_.target.level));
+    }
+    result.recommendedN =
+        stats::requiredSampleSize(worstCv, config_.target);
+    if (worstCi <= config_.target.epsilon)
+        return result;
+
+    sc.interval = SamplingConfig::chooseInterval(
+        streamLength, config_.unitSize, result.recommendedN);
+    auto session = factory();
+    result.tuned = SystematicSampler(sc).runMatched(*session);
     return result;
 }
 

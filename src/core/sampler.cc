@@ -72,4 +72,81 @@ SystematicSampler::run(SimSession &session) const
     return est;
 }
 
+MatchedEstimate
+SystematicSampler::runMatched(MultiSession &session) const
+{
+    const std::uint64_t u = config_.unitSize;
+    const std::uint64_t w = config_.detailedWarming;
+    const std::uint64_t k = config_.interval;
+    const std::size_t n = session.configCount();
+
+    MatchedEstimate est;
+    est.perConfig.resize(n);
+    est.cpiDelta.resize(n);
+
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config_.offset;
+
+    while (!session.finished()) {
+        const std::uint64_t unitStart = unitIdx * u;
+        if (unitStart < pos) {
+            // Offset landed behind the current position (resumed
+            // sessions); skip to the next unit on the grid.
+            unitIdx += k;
+            continue;
+        }
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+
+        // Fast-forward the inter-unit gap in the warming mode: one
+        // interpretation pass warms every config's state.
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config_.warming);
+            if (session.finished())
+                break;
+        }
+
+        // Detailed warming W: timing on, measurement discarded.
+        if (unitStart > pos) {
+            const MultiSegment warm =
+                session.detailedRun(unitStart - pos);
+            for (std::size_t c = 0; c < n; ++c)
+                est.perConfig[c].instructionsWarmed +=
+                    warm.instructions;
+            pos += warm.instructions;
+            if (session.finished())
+                break;
+        }
+
+        // The measured unit: every config observes the same window.
+        const MultiSegment seg = session.detailedRun(u);
+        pos += seg.instructions;
+        for (std::size_t c = 0; c < n; ++c)
+            est.perConfig[c].instructionsMeasured += seg.instructions;
+        if (seg.instructions == u) {
+            const double cpi0 = static_cast<double>(seg.per[0].cycles) /
+                                static_cast<double>(u);
+            for (std::size_t c = 0; c < n; ++c) {
+                const double cpi =
+                    static_cast<double>(seg.per[c].cycles) /
+                    static_cast<double>(u);
+                est.perConfig[c].cpiStats.add(cpi);
+                est.perConfig[c].epiStats.add(
+                    seg.per[c].energyNj /
+                    static_cast<double>(seg.instructions));
+                est.cpiDelta[c].add(cpi - cpi0);
+            }
+        }
+        unitIdx += k;
+    }
+
+    // Run out the tail so streamLength is the true benchmark length.
+    while (!session.finished())
+        session.fastForward(~0ull >> 1, config_.warming);
+    for (std::size_t c = 0; c < n; ++c)
+        est.perConfig[c].streamLength = session.instCount();
+    return est;
+}
+
 } // namespace smarts::core

@@ -5,200 +5,25 @@
 
 namespace smarts::core {
 
-using sisa::DecodedInst;
-using sisa::Opcode;
-
 SimSession::SimSession(const workloads::BenchmarkSpec &spec,
                        const uarch::MachineConfig &config)
-    : config_(config),
-      program_(workloads::buildProgram(spec)),
-      dataMask_(program_.dataBytes - 1),
-      pc_(program_.entryPc),
-      hierarchy_(config.mem),
-      bpred_(config.bpred)
+    : arch_(spec), model_(config)
 {
-    if (!program_.dataBytes ||
-        (program_.dataBytes & (program_.dataBytes - 1)))
-        SMARTS_FATAL("data footprint must be a power of two");
-    decoded_.reserve(program_.code.size());
-    for (const std::uint32_t word : program_.code)
-        decoded_.push_back(sisa::decode(word));
-    fetchLineShift_ = 0;
-    while ((1u << fetchLineShift_) < config_.mem.l1i.lineBytes)
-        ++fetchLineShift_;
-}
-
-std::uint32_t
-SimSession::loadWord(std::uint32_t addr) const
-{
-    return program_.data[((addr - workloads::kDataBase) & dataMask_) >>
-                         2];
-}
-
-void
-SimSession::storeWord(std::uint32_t addr, std::uint32_t value)
-{
-    program_
-        .data[((addr - workloads::kDataBase) & dataMask_) >> 2] =
-        value;
-}
-
-bool
-SimSession::step(StepInfo &info)
-{
-    if (finished_)
-        return false;
-    const std::uint32_t idx = (pc_ - workloads::kCodeBase) >> 2;
-    if (idx >= decoded_.size()) {
-        finished_ = true;
-        return false;
-    }
-    const DecodedInst di = decoded_[idx];
-    info.di = di;
-    info.pc = pc_;
-    info.taken = false;
-    std::uint32_t next = pc_ + 4;
-
-    auto setReg = [this](unsigned r, std::uint32_t v) {
-        if (r)
-            regs_[r] = v;
-    };
-    const std::uint32_t vb = regs_[di.b];
-    const std::uint32_t uimm =
-        static_cast<std::uint32_t>(di.imm) & 0xffffu;
-
-    switch (di.op) {
-      case Opcode::ADD:
-        setReg(di.a, vb + regs_[di.c]);
-        break;
-      case Opcode::SUB:
-        setReg(di.a, vb - regs_[di.c]);
-        break;
-      case Opcode::MUL:
-        setReg(di.a, vb * regs_[di.c]);
-        break;
-      case Opcode::AND:
-        setReg(di.a, vb & regs_[di.c]);
-        break;
-      case Opcode::OR:
-        setReg(di.a, vb | regs_[di.c]);
-        break;
-      case Opcode::XOR:
-        setReg(di.a, vb ^ regs_[di.c]);
-        break;
-      case Opcode::SLT:
-        setReg(di.a, static_cast<std::int32_t>(vb) <
-                             static_cast<std::int32_t>(regs_[di.c])
-                         ? 1
-                         : 0);
-        break;
-      case Opcode::ADDI:
-        setReg(di.a, vb + static_cast<std::uint32_t>(di.imm));
-        break;
-      case Opcode::ANDI:
-        setReg(di.a, vb & uimm);
-        break;
-      case Opcode::ORI:
-        setReg(di.a, vb | uimm);
-        break;
-      case Opcode::SHLI:
-        setReg(di.a, vb << (di.imm & 31));
-        break;
-      case Opcode::SHRI:
-        setReg(di.a, vb >> (di.imm & 31));
-        break;
-      case Opcode::LUI:
-        setReg(di.a, uimm << 16);
-        break;
-      case Opcode::LD:
-        info.memAddr = vb + static_cast<std::uint32_t>(di.imm);
-        setReg(di.a, loadWord(info.memAddr));
-        break;
-      case Opcode::ST:
-        info.memAddr = vb + static_cast<std::uint32_t>(di.imm);
-        storeWord(info.memAddr, regs_[di.a]);
-        break;
-      case Opcode::BEQ:
-        info.taken = regs_[di.a] == vb;
-        break;
-      case Opcode::BNE:
-        info.taken = regs_[di.a] != vb;
-        break;
-      case Opcode::BLT:
-        info.taken = static_cast<std::int32_t>(regs_[di.a]) <
-                     static_cast<std::int32_t>(vb);
-        break;
-      case Opcode::BGE:
-        info.taken = static_cast<std::int32_t>(regs_[di.a]) >=
-                     static_cast<std::int32_t>(vb);
-        break;
-      case Opcode::JAL:
-        info.taken = true;
-        setReg(di.a, pc_ + 4);
-        next = di.branchTarget(pc_);
-        break;
-      case Opcode::JR:
-        info.taken = true;
-        next = regs_[di.a];
-        break;
-      case Opcode::HALT:
-        finished_ = true;
-        return false;
-      case Opcode::NOP:
-      default:
-        break;
-    }
-    if (di.isCondBranch() && info.taken)
-        next = di.branchTarget(pc_);
-
-    info.nextPc = next;
-    pc_ = next;
-    ++instCount_;
-    return true;
 }
 
 std::uint64_t
 SimSession::fastForward(std::uint64_t maxInsts, WarmingMode mode)
 {
-    const bool warmCaches =
-        mode == WarmingMode::CachesOnly || mode == WarmingMode::Functional;
-    const bool warmBpred =
-        mode == WarmingMode::BpredOnly || mode == WarmingMode::Functional;
+    const bool warmCaches = warmsCaches(mode);
+    const bool warmBpred = warmsBpred(mode);
 
     std::uint64_t executed = 0;
     StepInfo info;
     while (executed < maxInsts) {
-        if (!step(info))
+        if (!arch_.step(info))
             break;
         ++executed;
-        if (warmCaches) {
-            const std::uint32_t line = info.pc >> fetchLineShift_;
-            if (line != lastFetchLine_) {
-                lastFetchLine_ = line;
-                hierarchy_.warmFetch(info.pc);
-            }
-            if (info.di.isLoad())
-                hierarchy_.warmLoad(info.memAddr);
-            else if (info.di.isStore())
-                hierarchy_.warmStore(info.memAddr);
-        }
-        if (info.di.isLoad())
-            ++activity_.loads;
-        else if (info.di.isStore())
-            ++activity_.stores;
-        else if (info.di.isBranch()) {
-            ++activity_.branches;
-            if (warmBpred) {
-                // Mirror the detailed core's RAS traffic: predict()
-                // pops on returns there, so warming must pop too or
-                // the stack depth drifts across warming gaps.
-                if (info.di.op == sisa::Opcode::JR &&
-                    info.di.a == 31)
-                    bpred_.popReturn();
-                bpred_.update(info.pc, info.di, info.taken,
-                              info.nextPc);
-            }
-        }
+        model_.warm(info, warmCaches, warmBpred);
     }
     return executed;
 }
@@ -206,94 +31,16 @@ SimSession::fastForward(std::uint64_t maxInsts, WarmingMode mode)
 Segment
 SimSession::detailedRun(std::uint64_t maxInsts)
 {
-    const auto &energy = config_.energy;
-    const double invWidth = 1.0 / config_.width;
-    const std::uint32_t l1iLat = config_.mem.l1i.latency;
-    const std::uint32_t l1dLat = config_.mem.l1d.latency;
-    const std::uint32_t lineBytes = config_.mem.l1i.lineBytes;
-
-    const std::uint64_t cyclesBefore =
-        static_cast<std::uint64_t>(cycles_);
-    const double cyclesStart = cycles_;
-    const double energyBefore = energyNj_;
-
-    auto chargeMem = [&](const mem::MemResult &r) {
-        energyNj_ += energy.l1Access;
-        if (r.level != mem::ServedBy::L1)
-            energyNj_ += energy.l2Access;
-        if (r.level == mem::ServedBy::Memory)
-            energyNj_ += energy.memAccess;
-    };
-
+    const TimingModel::SegmentMark mark = model_.beginSegment();
     std::uint64_t executed = 0;
     StepInfo info;
     while (executed < maxInsts) {
-        if (!step(info))
+        if (!arch_.step(info))
             break;
         ++executed;
-        cycles_ += invWidth;
-        energyNj_ += energy.perInst;
-
-        // Front end: one I-cache access per fetched line.
-        const std::uint32_t line = info.pc >> fetchLineShift_;
-        if (line != lastFetchLine_) {
-            lastFetchLine_ = line;
-            const mem::MemResult f = hierarchy_.fetch(info.pc);
-            chargeMem(f);
-            if (f.latency > l1iLat)
-                cycles_ += f.latency - l1iLat;
-        }
-
-        if (info.di.isLoad()) {
-            ++activity_.loads;
-            const mem::MemResult r = hierarchy_.load(info.memAddr);
-            chargeMem(r);
-            if (r.latency > l1dLat)
-                cycles_ += (r.latency - l1dLat) *
-                           config_.loadStallFactor;
-        } else if (info.di.isStore()) {
-            ++activity_.stores;
-            const mem::MemResult r = hierarchy_.store(info.memAddr);
-            chargeMem(r);
-            if (r.latency > l1dLat)
-                cycles_ += (r.latency - l1dLat) *
-                           config_.storeStallFactor;
-        } else if (info.di.isBranch()) {
-            ++activity_.branches;
-            ++activity_.bpredLookups;
-            const bpred::Prediction p =
-                bpred_.predict(info.pc, info.di);
-            energyNj_ += energy.bpredAccess;
-            const bool mispredict =
-                p.taken != info.taken ||
-                (info.taken && p.target != info.nextPc);
-            if (mispredict) {
-                ++activity_.bpredMispredicts;
-                cycles_ += config_.pipelineDepth;
-                if (config_.modelWrongPath) {
-                    // The front end ran down the predicted (wrong)
-                    // path: pollute the I-side and refetch after
-                    // the redirect.
-                    const std::uint32_t wrong =
-                        p.taken ? p.target : info.pc + 4;
-                    for (std::uint32_t i = 0;
-                         i < config_.wrongPathFetches; ++i)
-                        hierarchy_.warmFetch(wrong + i * lineBytes);
-                    lastFetchLine_ = ~0u;
-                }
-            }
-            bpred_.update(info.pc, info.di, info.taken, info.nextPc);
-        }
+        model_.detailedStep(info);
     }
-
-    energyNj_ += energy.perCycle * (cycles_ - cyclesStart);
-
-    Segment seg;
-    seg.instructions = executed;
-    seg.cycles =
-        static_cast<std::uint64_t>(cycles_) - cyclesBefore;
-    seg.energyNj = energyNj_ - energyBefore;
-    return seg;
+    return model_.endSegment(mark, executed);
 }
 
 std::vector<std::vector<double>>
@@ -309,11 +56,11 @@ SimSession::profileBbvs(std::uint64_t intervalSize, std::size_t dims)
     std::vector<std::vector<double>> intervals;
     std::vector<double> current(dims, 0.0);
     std::uint64_t inInterval = 0;
-    std::uint32_t blockStart = pc_;
+    std::uint32_t blockStart = arch_.pc();
     double blockLen = 0;
 
     StepInfo info;
-    while (step(info)) {
+    while (arch_.step(info)) {
         ++blockLen;
         ++inInterval;
         if (info.di.isBranch()) {
@@ -324,7 +71,7 @@ SimSession::profileBbvs(std::uint64_t intervalSize, std::size_t dims)
         if (inInterval == intervalSize) {
             current[bucket(blockStart)] += blockLen;
             blockLen = 0;
-            blockStart = pc_;
+            blockStart = arch_.pc();
             for (double &x : current)
                 x /= static_cast<double>(intervalSize);
             intervals.push_back(current);

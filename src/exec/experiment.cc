@@ -1,0 +1,57 @@
+#include "exec/experiment.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "core/multi_session.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace smarts::exec {
+
+ExperimentRunner::ExperimentRunner(unsigned threads) : pool_(threads)
+{
+}
+
+std::uint64_t
+ExperimentRunner::jobSeed(const ExperimentSpec &spec, std::size_t index)
+{
+    // Everything feeding the seed is a property of the batch, never
+    // of the schedule: results cannot depend on the thread count.
+    std::uint64_t seed = mix64(static_cast<std::uint64_t>(index) + 1);
+    seed = mix64(seed ^ spec.benchmark.seed);
+    seed = mix64(seed ^ spec.seedSalt);
+    return seed;
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<ExperimentResult> results(specs.size());
+    parallelForIndexed(pool_, specs.size(), [&](std::size_t i) {
+        const ExperimentSpec &spec = specs[i];
+        if (spec.configs.empty())
+            SMARTS_FATAL("experiment ", i, " has no machine configs");
+
+        ExperimentResult &out = results[i];
+        out.index = i;
+        out.rngSeed = jobSeed(spec, i);
+
+        core::SamplingConfig sampling = spec.sampling;
+        if (spec.randomizeOffset) {
+            Xoshiro256StarStar rng(out.rngSeed);
+            sampling.offset = rng.below(sampling.interval);
+        }
+
+        const auto start = std::chrono::steady_clock::now();
+        core::MultiSession session(spec.benchmark, spec.configs);
+        out.estimate =
+            core::SystematicSampler(sampling).runMatched(session);
+        out.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    });
+    return results;
+}
+
+} // namespace smarts::exec

@@ -1,0 +1,141 @@
+#include "exec/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace smarts::exec {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads ? threads : hardwareThreads();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(signalMutex_);
+        stop_ = true;
+    }
+    workSignal_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (!job)
+        SMARTS_FATAL("ThreadPool::submit: empty job");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(signalMutex_);
+        ++pending_;
+        target = nextQueue_;
+        nextQueue_ = (nextQueue_ + 1) % workers_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->queue.push_back(std::move(job));
+    }
+    // The epoch bump comes after the push: a worker that re-scans
+    // under signalMutex_ either sees the job or sees the bump, so a
+    // submission can never slip between a failed scan and the wait.
+    {
+        std::lock_guard<std::mutex> lock(signalMutex_);
+        ++signalEpoch_;
+    }
+    workSignal_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(signalMutex_);
+    idleSignal_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::function<void()> &job)
+{
+    Worker &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.queue.empty())
+        return false;
+    job = std::move(w.queue.back());
+    w.queue.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t self, std::function<void()> &job)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+        Worker &w = *workers_[(self + i) % n];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (w.queue.empty())
+            continue;
+        job = std::move(w.queue.front());
+        w.queue.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> job;
+        if (popOwn(self, job) || steal(self, job)) {
+            job();
+            bool idle;
+            {
+                std::lock_guard<std::mutex> lock(signalMutex_);
+                idle = --pending_ == 0;
+            }
+            if (idle)
+                idleSignal_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(signalMutex_);
+        if (stop_)
+            return;
+        const std::uint64_t seen = signalEpoch_;
+        // Re-scan with signalMutex_ held: any job pushed before we
+        // took the lock is visible now; any pushed after will bump
+        // signalEpoch_ past `seen` and wake the wait below.
+        if (popOwn(self, job) || steal(self, job)) {
+            lock.unlock();
+            job();
+            bool idle;
+            {
+                std::lock_guard<std::mutex> relock(signalMutex_);
+                idle = --pending_ == 0;
+            }
+            if (idle)
+                idleSignal_.notify_all();
+            continue;
+        }
+        workSignal_.wait(lock, [this, seen] {
+            return stop_ || signalEpoch_ != seen;
+        });
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace smarts::exec

@@ -1,7 +1,9 @@
 /**
  * @file
- * Micro test harness: CHECK/CHECK_NEAR record failures and the
- * TEST_MAIN summary returns nonzero when any check failed. Zero
+ * Micro test harness: CHECK/CHECK_EQ/CHECK_NEAR record failures with
+ * the file:line of the failing assertion (and the observed values
+ * for the comparison forms); TEST_MAIN_SUMMARY prints a [PASS]/[FAIL]
+ * count summary and returns nonzero when any check failed. Zero
  * dependencies so the tests build on any toolchain CI throws at us.
  */
 
@@ -10,6 +12,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 namespace smarts::test {
 
@@ -26,10 +30,36 @@ report(bool ok, const char *expr, const char *file, int line)
     }
 }
 
+template <typename T>
+std::string
+valueText(const T &value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+template <typename A, typename B>
+void
+reportEq(const A &a, const B &b, const char *exprA, const char *exprB,
+         const char *file, int line)
+{
+    const bool ok = a == b;
+    report(ok, exprA, file, line);
+    if (!ok)
+        std::fprintf(stderr, "  %s == %s: got %s, want %s\n", exprA,
+                     exprB, valueText(a).c_str(),
+                     valueText(b).c_str());
+}
+
 } // namespace smarts::test
 
 #define CHECK(cond)                                                    \
     ::smarts::test::report((cond), #cond, __FILE__, __LINE__)
+
+/** Equality check that prints both values on failure. */
+#define CHECK_EQ(a, b)                                                 \
+    ::smarts::test::reportEq((a), (b), #a, #b, __FILE__, __LINE__)
 
 #define CHECK_NEAR(a, b, tol)                                          \
     do {                                                               \
@@ -46,9 +76,13 @@ report(bool ok, const char *expr, const char *file, int line)
 
 #define TEST_MAIN_SUMMARY()                                            \
     do {                                                               \
-        std::printf("%d checks, %d failures\n",                        \
-                    ::smarts::test::checks,                            \
-                    ::smarts::test::failures);                         \
+        if (::smarts::test::failures)                                  \
+            std::printf("[FAIL] %d of %d checks failed\n",             \
+                        ::smarts::test::failures,                      \
+                        ::smarts::test::checks);                       \
+        else                                                           \
+            std::printf("[PASS] %d checks\n",                          \
+                        ::smarts::test::checks);                       \
         return ::smarts::test::failures ? 1 : 0;                       \
     } while (0)
 

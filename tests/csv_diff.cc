@@ -1,0 +1,123 @@
+/**
+ * @file
+ * csv_diff: tolerance-aware CSV comparator for the golden-value
+ * regression tests. Cells that parse as numbers (optionally with a
+ * trailing % or x unit) are compared within a relative + absolute
+ * tolerance; everything else must match exactly. Exit status is the
+ * number of differing cells (0 = match), and each difference is
+ * reported with its row/column coordinates.
+ *
+ * Usage: csv_diff <golden.csv> <actual.csv> [rtol] [atol]
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::vector<std::string>>
+readCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "csv_diff: cannot open '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::vector<std::string> cells;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            cells.push_back(cell);
+        if (!line.empty() && line.back() == ',')
+            cells.emplace_back();
+        rows.push_back(std::move(cells));
+    }
+    return rows;
+}
+
+/** Parse "1.23", "+4.5%", "12x" and friends; false if non-numeric. */
+bool
+parseNumber(const std::string &cell, double &value)
+{
+    std::string text = cell;
+    if (!text.empty() && (text.back() == '%' || text.back() == 'x'))
+        text.pop_back();
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtod(text.c_str(), &end);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: csv_diff <golden> <actual> [rtol] [atol]\n");
+        return 2;
+    }
+    const double rtol = argc > 3 ? std::atof(argv[3]) : 0.02;
+    const double atol = argc > 4 ? std::atof(argv[4]) : 1e-9;
+
+    const auto golden = readCsv(argv[1]);
+    const auto actual = readCsv(argv[2]);
+
+    int differences = 0;
+    if (golden.size() != actual.size()) {
+        std::fprintf(stderr,
+                     "csv_diff: row count %zu (golden) vs %zu (actual)\n",
+                     golden.size(), actual.size());
+        ++differences;
+    }
+    const std::size_t rows = std::min(golden.size(), actual.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+        if (golden[r].size() != actual[r].size()) {
+            std::fprintf(
+                stderr,
+                "csv_diff: row %zu: %zu columns (golden) vs %zu\n",
+                r + 1, golden[r].size(), actual[r].size());
+            ++differences;
+        }
+        const std::size_t cols =
+            std::min(golden[r].size(), actual[r].size());
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &g = golden[r][c];
+            const std::string &a = actual[r][c];
+            double gv, av;
+            if (parseNumber(g, gv) && parseNumber(a, av)) {
+                const double tol = atol + rtol * std::fabs(gv);
+                if (std::fabs(gv - av) <= tol)
+                    continue;
+                std::fprintf(stderr,
+                             "csv_diff: row %zu col %zu: %s vs %s "
+                             "(tol %.3g)\n",
+                             r + 1, c + 1, g.c_str(), a.c_str(), tol);
+                ++differences;
+            } else if (g != a) {
+                std::fprintf(stderr,
+                             "csv_diff: row %zu col %zu: '%s' vs '%s'\n",
+                             r + 1, c + 1, g.c_str(), a.c_str());
+                ++differences;
+            }
+        }
+    }
+    if (differences)
+        std::fprintf(stderr, "csv_diff: %d differing cell(s)\n",
+                     differences);
+    return differences ? 1 : 0;
+}

@@ -1,0 +1,54 @@
+# Golden-value regression driver: run a bench binary with pinned
+# arguments, then diff its CSV artifact against the checked-in
+# golden copy with csv_diff's numeric tolerance. Numeric drift in a
+# reproduced figure/table now fails ctest instead of passing
+# silently.
+#
+# Regenerate a golden (after an intentional model change) with:
+#   <bench> <pinned args> --csv=tests/golden/<name>.csv
+#
+# Usage: cmake -DBENCH=<binary> -DCSV=<output csv> -DGOLDEN=<golden csv>
+#              -DDIFF=<csv_diff binary> -DARGS=<;-separated args>
+#              [-DRTOL=<rel tol>] -P run_bench_golden.cmake
+
+foreach(required BENCH CSV GOLDEN DIFF)
+  if(NOT ${required})
+    message(FATAL_ERROR
+      "run_bench_golden.cmake needs -D${required}=")
+  endif()
+endforeach()
+
+if(NOT RTOL)
+  set(RTOL 0.02)
+endif()
+
+file(REMOVE "${CSV}")
+
+execute_process(
+  COMMAND "${BENCH}" ${ARGS} "--csv=${CSV}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output
+)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH} failed with exit code ${exit_code}:\n${output}")
+endif()
+if(NOT EXISTS "${CSV}")
+  message(FATAL_ERROR "${BENCH} did not write ${CSV}")
+endif()
+
+execute_process(
+  COMMAND "${DIFF}" "${GOLDEN}" "${CSV}" "${RTOL}"
+  RESULT_VARIABLE diff_code
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_out
+)
+if(NOT diff_code EQUAL 0)
+  message(FATAL_ERROR
+    "golden mismatch for ${GOLDEN}:\n${diff_out}\n"
+    "If the change is intentional, regenerate the golden CSV "
+    "(see the header of run_bench_golden.cmake).")
+endif()
+
+message(STATUS "golden OK: ${CSV} matches ${GOLDEN} (rtol ${RTOL})")

@@ -1,6 +1,8 @@
 # Smoke-test driver: run a bench binary with the given args and
-# verify it exits cleanly AND emits its CSV artifact (guards the
-# bench_common CSV plumbing end to end).
+# verify it exits cleanly AND emits a well-formed CSV artifact
+# (guards the bench_common CSV plumbing end to end): a header with
+# at least one column, at least one data row, every row with exactly
+# the header's column count, and no empty cells.
 #
 # Usage: cmake -DBENCH=<binary> -DCSV=<expected csv path>
 #              -DARGS=<;-separated extra args> -P run_bench_smoke.cmake
@@ -35,5 +37,39 @@ if(csv_line_count LESS 2)
     "at least one data row")
 endif()
 
+# Column discipline: every row must have the header's cell count and
+# no empty cells. (Cells in these artifacts never contain commas, so
+# a plain split is exact.)
+set(expected_cols -1)
+set(row_number 0)
+foreach(line IN LISTS csv_lines)
+  math(EXPR row_number "${row_number} + 1")
+  string(REPLACE "," ";" cells "${line}")
+  list(LENGTH cells col_count)
+  if(expected_cols EQUAL -1)
+    set(expected_cols ${col_count})
+    if(expected_cols LESS 1)
+      message(FATAL_ERROR "${CSV} header has no columns")
+    endif()
+  elseif(NOT col_count EQUAL expected_cols)
+    message(FATAL_ERROR
+      "${CSV} row ${row_number} has ${col_count} column(s); the "
+      "header has ${expected_cols}")
+  endif()
+  # An empty cell collapses in the ;-list, so also catch the literal
+  # patterns a missing value produces.
+  if(line MATCHES "^," OR line MATCHES ",$" OR line MATCHES ",,")
+    message(FATAL_ERROR
+      "${CSV} row ${row_number} has an empty cell: '${line}'")
+  endif()
+  foreach(cell IN LISTS cells)
+    string(STRIP "${cell}" stripped)
+    if(stripped STREQUAL "")
+      message(FATAL_ERROR
+        "${CSV} row ${row_number} has a blank cell: '${line}'")
+    endif()
+  endforeach()
+endforeach()
+
 message(STATUS "smoke OK: ${BENCH} wrote ${CSV} "
-               "(${csv_line_count} lines)")
+               "(${csv_line_count} rows x ${expected_cols} cols)")

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Direct unit tests for the bpred layer: 2-bit counter training,
+ * gshare index aliasing (two branches sharing a counter interfere),
+ * BTB tag/replacement behaviour for indirect jumps, and RAS push/
+ * pop including overflow wrap-around and underflow fallback.
+ */
+
+#include "bpred/branch_unit.hh"
+#include "sisa/encoding.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+sisa::DecodedInst
+condBranch(std::int32_t offset)
+{
+    sisa::DecodedInst di;
+    di.op = sisa::Opcode::BEQ;
+    di.imm = offset;
+    return di;
+}
+
+sisa::DecodedInst
+call(std::uint8_t linkReg, std::int32_t offset)
+{
+    sisa::DecodedInst di;
+    di.op = sisa::Opcode::JAL;
+    di.a = linkReg;
+    di.imm = offset;
+    return di;
+}
+
+sisa::DecodedInst
+jumpReg(std::uint8_t reg)
+{
+    sisa::DecodedInst di;
+    di.op = sisa::Opcode::JR;
+    di.a = reg;
+    return di;
+}
+
+void
+testCounterTraining()
+{
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto br = condBranch(64);
+    const std::uint32_t pc = 0x1000;
+
+    // Counters start weakly-not-taken: first prediction is NT.
+    CHECK(!bp.predict(pc, br).taken);
+
+    // One taken outcome moves the 2-bit counter to weakly taken.
+    bp.update(pc, br, true, pc + 64);
+    // History changed too; retrain on the new index until saturated.
+    for (int i = 0; i < 8; ++i) {
+        const bpred::Prediction p = bp.predict(pc, br);
+        bp.update(pc, br, true, pc + 64);
+        if (i >= 4) {
+            CHECK(p.taken);
+            CHECK_EQ(p.target, pc + 64);
+        }
+    }
+}
+
+void
+testGshareAliasing()
+{
+    // 2^2 = 4 counters: pcs 0x1000 and 0x1040 index bits
+    // (pc >> 2) & 3 = 0 for both -> they share a counter when the
+    // history is equal, so training one flips the other.
+    bpred::BranchUnit bp({2, 16, 4});
+    const auto br = condBranch(16);
+    const std::uint32_t pcA = 0x1000;
+    const std::uint32_t pcB = 0x1040;
+    CHECK_EQ((pcA >> 2) & 3u, (pcB >> 2) & 3u);
+
+    // Saturate the shared counter taken via branch A with an
+    // all-taken history (history is the same 2 bits for both).
+    for (int i = 0; i < 6; ++i)
+        bp.update(pcA, br, true, pcA + 16);
+
+    // Branch B, never trained, now predicts taken: aliasing.
+    CHECK(bp.predict(pcB, br).taken);
+
+    // Re-train not-taken through B and A flips with it.
+    for (int i = 0; i < 6; ++i)
+        bp.update(pcB, br, false, pcB + 4);
+    CHECK(!bp.predict(pcA, br).taken);
+}
+
+void
+testBtbIndirectTargets()
+{
+    bpred::BranchUnit bp({4, 4, 4});
+    const auto jr = jumpReg(5); // non-return indirect jump.
+    const std::uint32_t pc = 0x2000;
+
+    // Untrained: falls through (no BTB entry).
+    CHECK_EQ(bp.predict(pc, jr).target, pc + 4);
+
+    // Trained: predicts the recorded target.
+    bp.update(pc, jr, true, 0x3000);
+    CHECK_EQ(bp.predict(pc, jr).target, 0x3000u);
+
+    // 4-entry BTB: pc + 16 maps to the same slot and evicts it.
+    const std::uint32_t alias = pc + 16;
+    bp.update(alias, jr, true, 0x4000);
+    CHECK_EQ(bp.predict(alias, jr).target, 0x4000u);
+    CHECK_EQ(bp.predict(pc, jr).target, pc + 4); // tag mismatch.
+}
+
+void
+testRasPushPop()
+{
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto ret = jumpReg(31);
+
+    // Calls through r31 push; returns pop in LIFO order.
+    bp.update(0x1000, call(31, 64), true, 0x1040);
+    bp.update(0x2000, call(31, 64), true, 0x2040);
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x2004u);
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x1004u);
+
+    // JAL with a zero link register does not push (not a call).
+    bp.update(0x3000, call(0, 64), true, 0x3040);
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x9004u); // empty RAS.
+}
+
+void
+testRasOverflowWrapsAround()
+{
+    // 4-entry RAS; 6 calls overwrite the two oldest frames.
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto ret = jumpReg(31);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        bp.update(0x1000 + i * 0x100, call(31, 64), true, 0);
+
+    // The four most recent return addresses pop correctly...
+    for (std::uint32_t i = 6; i > 2; --i)
+        CHECK_EQ(bp.predict(0x9000, ret).target,
+                 0x1000u + (i - 1) * 0x100 + 4);
+
+    // ...then the wrapped slots replay the newest frames' values
+    // (a real RAS mispredicts here; it must not crash or hang).
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x1504u);
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x1404u);
+}
+
+void
+testRasUnderflow()
+{
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto ret = jumpReg(31);
+
+    // Pop on empty: falls back to the BTB (miss -> fallthrough).
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x9004u);
+
+    // popReturn on empty is a no-op; a later push still works.
+    bp.popReturn();
+    bp.popReturn();
+    bp.update(0x1000, call(31, 64), true, 0x1040);
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x1004u);
+}
+
+void
+testWarmPopKeepsDepthInSync()
+{
+    // Functional warming pops via popReturn instead of predict();
+    // the depth must track exactly.
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto ret = jumpReg(31);
+    bp.update(0x1000, call(31, 64), true, 0x1040);
+    bp.update(0x2000, call(31, 64), true, 0x2040);
+    bp.popReturn(); // warming consumed the 0x2004 return.
+    CHECK_EQ(bp.predict(0x9000, ret).target, 0x1004u);
+}
+
+void
+testReset()
+{
+    bpred::BranchUnit bp({4, 16, 4});
+    const auto br = condBranch(16);
+    for (int i = 0; i < 8; ++i)
+        bp.update(0x1000, br, true, 0x1010);
+    bp.update(0x1000, call(31, 64), true, 0x1040);
+    bp.reset();
+    CHECK(!bp.predict(0x1000, br).taken);
+    CHECK_EQ(bp.predict(0x9000, jumpReg(31)).target, 0x9004u);
+    CHECK_EQ(bp.lookups(), 2u);
+}
+
+} // namespace
+
+int
+main()
+{
+    testCounterTraining();
+    testGshareAliasing();
+    testBtbIndirectTargets();
+    testRasPushPop();
+    testRasOverflowWrapsAround();
+    testRasUnderflow();
+    testWarmPopKeepsDepthInSync();
+    testReset();
+    TEST_MAIN_SUMMARY();
+}

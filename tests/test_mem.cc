@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Direct unit tests for the mem layer: set-associative LRU eviction
+ * order (including the per-set MRU fast path), TLB reach and true-
+ * LRU replacement in the O(1) list+hash implementation, and the
+ * warm-vs-timing split of the hierarchy.
+ */
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+
+namespace {
+
+/** addr of line @p line for a 64B-line cache. */
+constexpr std::uint32_t
+lineAddr(std::uint32_t line)
+{
+    return line * 64;
+}
+
+void
+testCacheLruEvictionOrder()
+{
+    // 2 sets x 2 ways of 64B lines. Even lines -> set 0.
+    mem::Cache cache("t", {256, 2, 64, 1});
+
+    // Fill set 0 with lines 0 and 2.
+    CHECK(!cache.access(lineAddr(0), false).hit);
+    CHECK(!cache.access(lineAddr(2), false).hit);
+    CHECK(cache.probe(lineAddr(0)));
+    CHECK(cache.probe(lineAddr(2)));
+
+    // Touch line 0: line 2 becomes LRU.
+    CHECK(cache.access(lineAddr(0), false).hit);
+
+    // Line 4 (set 0) evicts line 2, not line 0.
+    CHECK(!cache.access(lineAddr(4), false).hit);
+    CHECK(cache.probe(lineAddr(0)));
+    CHECK(!cache.probe(lineAddr(2)));
+    CHECK(cache.probe(lineAddr(4)));
+
+    // Set 1 was never touched.
+    CHECK(!cache.probe(lineAddr(1)));
+
+    // Eviction continues in strict LRU order: line 0 is now LRU
+    // (line 4 is the most recent fill), so line 6 evicts line 0.
+    CHECK(!cache.access(lineAddr(6), false).hit);
+    CHECK(!cache.probe(lineAddr(0)));
+    CHECK(cache.probe(lineAddr(4)));
+    CHECK(cache.probe(lineAddr(6)));
+
+    CHECK_EQ(cache.misses(), 4u);
+    CHECK_EQ(cache.accesses(), 5u);
+}
+
+void
+testCacheMruFastPathKeepsLru()
+{
+    // Hammering the MRU line must not disturb LRU bookkeeping.
+    mem::Cache cache("t", {256, 2, 64, 1});
+    cache.access(lineAddr(0), false);
+    cache.access(lineAddr(2), false);
+    for (int i = 0; i < 100; ++i)
+        CHECK(cache.access(lineAddr(2), false).hit);
+    // Line 0 is LRU despite 100 intervening MRU hits.
+    CHECK(!cache.access(lineAddr(4), false).hit);
+    CHECK(!cache.probe(lineAddr(0)));
+    CHECK(cache.probe(lineAddr(2)));
+}
+
+void
+testCacheStoresAllocateLikeLoads()
+{
+    mem::Cache cache("t", {256, 2, 64, 1});
+    CHECK(!cache.access(lineAddr(0), true).hit);
+    CHECK(cache.access(lineAddr(0), false).hit);
+    CHECK_EQ(cache.misses(), 1u);
+}
+
+void
+testCacheReset()
+{
+    mem::Cache cache("t", {256, 2, 64, 1});
+    cache.access(lineAddr(0), false);
+    cache.reset();
+    CHECK(!cache.probe(lineAddr(0)));
+    CHECK_EQ(cache.accesses(), 0u);
+    CHECK_EQ(cache.misses(), 0u);
+}
+
+void
+testTlbReach()
+{
+    // 4 entries x 4KB pages: reach is 16KB.
+    mem::Tlb tlb({4, 4096, 30});
+    for (std::uint32_t p = 0; p < 4; ++p)
+        CHECK(tlb.access(p * 4096)); // cold misses.
+    for (std::uint32_t p = 0; p < 4; ++p)
+        CHECK(!tlb.access(p * 4096)); // all resident.
+    CHECK_EQ(tlb.misses(), 4u);
+
+    // Within-page offsets share the entry.
+    CHECK(!tlb.access(3 * 4096 + 4092));
+
+    // A 5th page evicts the LRU page (page 0 after the re-touch
+    // sequence 0,1,2,3 above).
+    CHECK(tlb.access(4 * 4096));
+    CHECK(tlb.access(0 * 4096)); // page 0 was the victim.
+    CHECK(!tlb.access(4 * 4096));
+}
+
+void
+testTlbLruOrderUnderReuse()
+{
+    mem::Tlb tlb({4, 4096, 30});
+    for (std::uint32_t p = 0; p < 4; ++p)
+        tlb.access(p * 4096);
+    // Re-touch pages 0 and 1: pages 2 then 3 are the LRU victims.
+    tlb.access(0);
+    tlb.access(4096);
+    CHECK(tlb.access(4 * 4096)); // evicts page 2.
+    CHECK(tlb.access(5 * 4096)); // evicts page 3.
+    CHECK(!tlb.access(0));       // pages 0 and 1 survived.
+    CHECK(!tlb.access(4096));
+    CHECK(tlb.access(2 * 4096)); // pages 2 and 3 are gone.
+}
+
+void
+testTlbSingleEntry()
+{
+    mem::Tlb tlb({1, 4096, 30});
+    CHECK(tlb.access(0));
+    CHECK(!tlb.access(4));
+    CHECK(tlb.access(4096));
+    CHECK(tlb.access(0));
+    CHECK_EQ(tlb.misses(), 3u);
+}
+
+void
+testTlbReset()
+{
+    mem::Tlb tlb({4, 4096, 30});
+    tlb.access(0);
+    tlb.access(4096);
+    tlb.reset();
+    CHECK_EQ(tlb.misses(), 0u);
+    CHECK(tlb.access(0)); // cold again.
+}
+
+void
+testHierarchyWarmMatchesTiming()
+{
+    mem::HierarchyConfig cfg;
+    cfg.l1i = {256, 2, 64, 1};
+    cfg.l1d = {256, 2, 64, 2};
+    cfg.l2 = {1024, 2, 64, 12};
+    cfg.itlb = {4, 4096, 30};
+    cfg.dtlb = {4, 4096, 30};
+    cfg.memLatency = 80;
+
+    // A timing load after a warm load of the same line hits L1 with
+    // the same latency as after a timing load: warming installs the
+    // identical state.
+    mem::MemHierarchy warm(cfg);
+    warm.warmLoad(lineAddr(0));
+    const mem::MemResult viaWarm = warm.load(lineAddr(0));
+
+    mem::MemHierarchy timed(cfg);
+    timed.load(lineAddr(0));
+    const mem::MemResult viaTimed = timed.load(lineAddr(0));
+
+    CHECK(viaWarm.level == mem::ServedBy::L1);
+    CHECK(viaTimed.level == mem::ServedBy::L1);
+    CHECK_EQ(viaWarm.latency, viaTimed.latency);
+    CHECK_EQ(viaWarm.latency, cfg.l1d.latency);
+}
+
+void
+testHierarchyLevelsAndLatencies()
+{
+    mem::HierarchyConfig cfg;
+    cfg.l1i = {256, 2, 64, 1};
+    cfg.l1d = {256, 2, 64, 2};
+    cfg.l2 = {1024, 2, 64, 12};
+    cfg.itlb = {4, 4096, 30};
+    cfg.dtlb = {4, 4096, 30};
+    cfg.memLatency = 80;
+    mem::MemHierarchy h(cfg);
+
+    // Cold: memory + TLB miss.
+    const mem::MemResult cold = h.load(lineAddr(0));
+    CHECK(cold.level == mem::ServedBy::Memory);
+    CHECK(cold.tlbMiss);
+    CHECK_EQ(cold.latency, 30u + 2u + 12u + 80u);
+
+    // Evict line 0 from L1d (2 ways/set, 2 sets): lines 2 and 4
+    // alias to set 0. L2 (2 ways x 8 sets... 1KB/2/64 = 8 sets)
+    // still holds line 0, so the re-access is an L2 hit.
+    h.load(lineAddr(2));
+    h.load(lineAddr(4));
+    const mem::MemResult l2hit = h.load(lineAddr(0));
+    CHECK(l2hit.level == mem::ServedBy::L2);
+    CHECK(!l2hit.tlbMiss);
+    CHECK_EQ(l2hit.latency, 2u + 12u);
+}
+
+} // namespace
+
+int
+main()
+{
+    testCacheLruEvictionOrder();
+    testCacheMruFastPathKeepsLru();
+    testCacheStoresAllocateLikeLoads();
+    testCacheReset();
+    testTlbReach();
+    testTlbLruOrderUnderReuse();
+    testTlbSingleEntry();
+    testTlbReset();
+    testHierarchyWarmMatchesTiming();
+    testHierarchyLevelsAndLatencies();
+    TEST_MAIN_SUMMARY();
+}
