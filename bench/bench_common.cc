@@ -40,6 +40,8 @@ parseOptions(int argc, char **argv, bool default_quick,
                 !std::strcmp(v3, "16") || !std::strcmp(v3, "both");
         } else if (const char *v4 = value("--csv=")) {
             opt.csvPath = v4;
+        } else if (const char *v5 = value("--section=")) {
+            opt.section = v5;
         } else if (arg == "--benchmark_format" ||
                    arg.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark-style flags when invoked by
@@ -47,7 +49,7 @@ parseOptions(int argc, char **argv, bool default_quick,
         } else {
             SMARTS_FATAL("unknown flag '", arg,
                          "' (supported: --scale=, --suite=, "
-                         "--machine=, --csv=)");
+                         "--machine=, --csv=, --section=)");
         }
     }
     return opt;

@@ -9,6 +9,8 @@
  *   --suite=quick|standard     benchmark set (default per bench)
  *   --machine=8|16|both        machine configuration(s)
  *   --csv=<path>               CSV output path override
+ *   --section=<name>           run only one section of the bench
+ *                              (benches that have sections)
  */
 
 #ifndef SMARTS_BENCH_COMMON_HH
@@ -35,6 +37,7 @@ struct BenchOptions
     bool runEight = true;
     bool runSixteen = false;
     std::string csvPath;
+    std::string section; ///< empty = every section of the bench.
 
     std::vector<workloads::BenchmarkSpec>
     suite() const

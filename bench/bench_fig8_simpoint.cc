@@ -88,7 +88,8 @@ main(int argc, char **argv)
             .addPercent(sm.cpiConfidenceInterval(0.997), 2)
             .add(static_cast<double>(sp.instructionsDetailed) / 1e6, 2)
             .add(static_cast<double>(sm.instructionsMeasured +
-                                     sm.instructionsWarmed) /
+                                     sm.instructionsWarmed +
+                                     sm.instructionsDropped) /
                      1e6,
                  2);
         std::printf(".");

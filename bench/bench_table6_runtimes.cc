@@ -29,12 +29,16 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/checkpoint.hh"
 #include "core/perf_model.hh"
 #include "core/sampler.hh"
 #include "exec/experiment.hh"
+#include "exec/thread_pool.hh"
+#include "util/logging.hh"
 
 using namespace smarts;
 using namespace smarts::bench;
@@ -59,6 +63,220 @@ fingerprint(const std::vector<exec::ExperimentResult> &results)
             addDouble(e.cpiStats.variance());
         }
     return bits;
+}
+
+/** Bit-exact fingerprint of one estimate (sharded determinism). */
+std::vector<std::uint64_t>
+fingerprintEstimate(const core::SmartsEstimate &e)
+{
+    std::vector<std::uint64_t> bits;
+    auto addDouble = [&bits](double v) {
+        std::uint64_t b;
+        std::memcpy(&b, &v, sizeof b);
+        bits.push_back(b);
+    };
+    bits.push_back(e.units());
+    addDouble(e.cpiStats.mean());
+    addDouble(e.cpiStats.variance());
+    addDouble(e.epiStats.mean());
+    addDouble(e.epiStats.variance());
+    bits.push_back(e.instructionsMeasured);
+    bits.push_back(e.instructionsWarmed);
+    bits.push_back(e.instructionsDropped);
+    bits.push_back(e.streamLength);
+    return bits;
+}
+
+/**
+ * Sharded functional warming: the cost Table 6 shows dominating
+ * SMARTS is serial PER BENCHMARK — PR 2's engine only parallelizes
+ * across (benchmark x config) jobs, so one long stream bottlenecks
+ * a whole grid. This section shards a single benchmark's stream via
+ * the checkpoint library and measures what that buys, in both
+ * flavors:
+ *
+ *  - COLD: runSharded captures checkpoints and executes shards in
+ *    one pipelined call. The capture pass must itself warm the
+ *    stream, so cold wall clock is bounded below by it — the
+ *    paper's functional-warming bound (Section 6) made concrete.
+ *  - WARM: the library is built once and shards resume from it with
+ *    no capture in the timed path. This is the checkpoint-reuse
+ *    regime (tuned second passes, config sweeps, repeated design
+ *    studies over the same benchmark), where the shard work simply
+ *    divides by the thread count.
+ */
+void
+shardedSection(const BenchOptions &opt)
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto suite = opt.suite();
+    exec::ThreadPool pool; // one worker per hardware thread.
+
+    std::printf("=== Sharded single-benchmark stream: checkpointed "
+                "functional warming ===\n\n");
+
+    // Deterministic columns only (golden-pinned): the sharded
+    // estimate is bit-identical to the serial one by contract, so
+    // every value here is reproducible on any host.
+    TextTable det({"benchmark", "shards", "units", "cpi",
+                   "ckpt KB", "bitwise = serial?"});
+    TextTable times({"benchmark", "serial (s)", "capture (s)",
+                     "cold (s)", "warm (s)", "warm x"});
+
+    double sumSerial = 0.0, sumCapture = 0.0;
+    double sumCold = 0.0, sumWarm = 0.0;
+    std::size_t identicalCount = 0;
+
+    for (const auto &spec : suite) {
+        std::uint64_t length;
+        {
+            core::SimSession probe(spec, config);
+            length =
+                probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+        }
+
+        // Dense grid: a tuned second pass after a high-CV initial
+        // pass routinely lands at small k, which is exactly when
+        // one benchmark pins a whole experiment grid.
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming = recommendedW(config);
+        sc.warming = core::WarmingMode::Functional;
+        sc.interval = core::SamplingConfig::chooseInterval(
+            length, sc.unitSize, length / sc.unitSize / 4);
+
+        auto factory = [&spec, &config] {
+            return std::make_unique<core::SimSession>(spec, config);
+        };
+
+        // Serial baseline.
+        core::SmartsEstimate serial;
+        double serialS;
+        {
+            core::SimSession s(spec, config);
+            const Stopwatch t;
+            serial = core::SystematicSampler(sc).run(s);
+            serialS = t.seconds();
+        }
+
+        // Build the library once (the cold path's serial spine).
+        const std::size_t shards =
+            std::max<std::size_t>(8, 2 * pool.threadCount());
+        const auto plan =
+            core::CheckpointLibrary::planShards(sc, length, shards);
+        core::CheckpointLibrary library;
+        double captureS;
+        {
+            core::SimSession s(spec, config);
+            const Stopwatch t;
+            library = core::CheckpointLibrary::build(s, sc, plan);
+            captureS = t.seconds();
+        }
+
+        // Cold: capture + shards, pipelined inside runSharded.
+        core::SmartsEstimate cold;
+        double coldS;
+        {
+            const Stopwatch t;
+            cold = core::SystematicSampler(sc).runSharded(
+                factory, length, shards, pool);
+            coldS = t.seconds();
+        }
+
+        // Warm: shards resume from the prebuilt library.
+        core::SmartsEstimate warm;
+        double warmS;
+        {
+            const Stopwatch t;
+            warm = core::SystematicSampler(sc).runSharded(
+                factory, library, pool);
+            warmS = t.seconds();
+        }
+
+        // Determinism at a FIXED shard count for the golden table
+        // (the timing runs above scale shards with the host).
+        const core::SmartsEstimate fixedShards =
+            core::SystematicSampler(sc).runSharded(factory, length, 5,
+                                                   pool);
+        const bool identical =
+            fingerprintEstimate(fixedShards) ==
+                fingerprintEstimate(serial) &&
+            fingerprintEstimate(cold) == fingerprintEstimate(serial) &&
+            fingerprintEstimate(warm) == fingerprintEstimate(serial);
+        identicalCount += identical ? 1 : 0;
+
+        sumSerial += serialS;
+        sumCapture += captureS;
+        sumCold += coldS;
+        sumWarm += warmS;
+
+        det.row()
+            .add(spec.name)
+            .add(std::uint64_t(5))
+            .add(fixedShards.units())
+            .add(fixedShards.cpi(), 4)
+            // Slot 0 is an empty placeholder (shard 0 resumes at
+            // stream start), so average over the real checkpoints.
+            .add(std::uint64_t(library.byteSize() /
+                               (plan.size() > 1 ? plan.size() - 1
+                                                : 1) /
+                               1024))
+            .add(identical ? "yes" : "NO");
+        times.row()
+            .add(spec.name)
+            .add(serialS, 2)
+            .add(captureS, 2)
+            .add(coldS, 2)
+            .add(warmS, 2)
+            .add(serialS / warmS, 2);
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+
+    if (opt.section == "sharded")
+        emit(det, opt); // golden-pinned deterministic columns.
+    else
+        std::printf("%s\n", det.toString().c_str());
+    std::printf("%s\n", times.toString().c_str());
+
+    // Warm shards divide the serial work by the pool; cold adds the
+    // capture spine, pipelined against shard execution.
+    const double perThreadWarm =
+        sumSerial / sumWarm /
+        static_cast<double>(pool.threadCount());
+    auto projectedWarm = [&](double threads) {
+        return perThreadWarm * threads;
+    };
+    auto projectedCold = [&](double threads) {
+        return sumSerial /
+               std::max(sumCapture,
+                        (sumCapture + sumSerial) / threads);
+    };
+    std::printf(
+        "serial %.2fs | capture-once %.2fs | cold sharded %.2fs | "
+        "warm (library reuse) %.2fs, on %u thread(s)\n"
+        "estimates bit-identical to the serial run for %zu/%zu "
+        "benchmarks (cold, warm, and fixed-5-shard runs)\n"
+        "warm path: %.2fx per thread -> projected %.2fx at 2 "
+        "threads, %.2fx at 4 (shard work divides by the pool; "
+        "capture amortized across reruns/configs)\n"
+        "cold path: projected %.2fx at 2 threads, capture-bound "
+        "ceiling %.2fx — the functional-warming bound the paper's "
+        "Table 6 predicts; breaking it needs warming pipelining or "
+        "reuse (ROADMAP)\n"
+        "target >=1.5x at 2 threads (warm path): %s\n",
+        sumSerial, sumCapture, sumCold, sumWarm, pool.threadCount(),
+        identicalCount, suite.size(), perThreadWarm,
+        projectedWarm(2.0), projectedWarm(4.0), projectedCold(2.0),
+        sumSerial / sumCapture,
+        pool.threadCount() >= 2
+            ? (sumSerial / sumWarm >= 1.5 ? "MET (measured)"
+                                          : "NOT MET (measured)")
+            : (projectedWarm(2.0) >= 1.5
+                   ? "MET by projection (1-thread host)"
+                   : "NOT MET even by projection"));
+    std::fflush(stdout);
 }
 
 void
@@ -204,6 +422,18 @@ main(int argc, char **argv)
         scale_flag |= std::string(argv[i]).rfind("--scale=", 0) == 0;
     if (!scale_flag)
         opt.scale = workloads::Scale::Small;
+
+    if (opt.section == "sharded") {
+        banner("Table 6 (sharded section): checkpointed functional "
+               "warming",
+               opt);
+        shardedSection(opt);
+        return 0;
+    }
+    if (!opt.section.empty())
+        SMARTS_FATAL("unknown --section '", opt.section,
+                     "' (supported: sharded)");
+
     banner("Table 6: runtimes — detailed vs functional vs SMARTS "
            "(8-way)",
            opt);
@@ -309,5 +539,7 @@ main(int argc, char **argv)
                 paper_scale_speedup.mean());
 
     designStudySection(opt);
+    std::printf("\n");
+    shardedSection(opt);
     return 0;
 }

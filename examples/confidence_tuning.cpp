@@ -85,7 +85,8 @@ main(int argc, char **argv)
                      : std::to_string(result.recommendedN))
             .add(fin.cpi(), 4)
             .addPercent(fin.cpiConfidenceInterval(t.spec.level), 2)
-            .add(fin.instructionsMeasured + fin.instructionsWarmed);
+            .add(fin.instructionsMeasured + fin.instructionsWarmed +
+                 fin.instructionsDropped);
         std::printf(".");
         std::fflush(stdout);
     }

@@ -6,7 +6,9 @@
  *   1. pick a benchmark and machine configuration,
  *   2. find the benchmark length with one fast functional run,
  *   3. run the SMARTS procedure (U=1000, W=2000, functional warming,
- *      n_init=10,000-equivalent for the benchmark size),
+ *      n_init=10,000-equivalent for the benchmark size) with each
+ *      pass sharded across threads via checkpointed functional
+ *      warming (estimates are bit-identical to the serial path),
  *   4. read the estimate and its 99.7% confidence interval.
  *
  * Usage: quickstart [benchmark] [8|16]   (default: sort-2 on 8-way)
@@ -18,6 +20,7 @@
 
 #include "core/procedure.hh"
 #include "core/session.hh"
+#include "exec/thread_pool.hh"
 #include "uarch/config.hh"
 #include "workloads/benchmark.hh"
 
@@ -57,10 +60,20 @@ main(int argc, char **argv)
     pc.target = stats::ConfidenceSpec::virtuallyCertain3pct();
     pc.nInit = std::min<std::uint64_t>(10'000, length / 1000 / 5);
 
+    // Step 3: each sampling pass runs checkpoint-sharded — the unit
+    // grid splits into shards that resume from captured warm state
+    // on the pool. Deliberately more shards than threads so shard
+    // execution pipelines against checkpoint capture; the estimate
+    // is bit-identical to the serial proc.estimate() path.
+    exec::ThreadPool pool; // one worker per hardware thread.
+    const std::size_t shards = 2 * pool.threadCount() + 2;
+    std::printf("sharding each pass %zu ways across %u thread(s)\n",
+                shards, pool.threadCount());
+
     const core::SmartsProcedure proc(pc);
-    const core::ProcedureResult result = proc.estimate(
+    const core::ProcedureResult result = proc.estimateSharded(
         [&] { return std::make_unique<core::SimSession>(spec, config); },
-        length);
+        length, pool, shards);
 
     const core::SmartsEstimate &est = result.final();
     std::printf("\nmeasured %llu sampling units of U=%llu "

@@ -78,7 +78,8 @@ main(int argc, char **argv)
                 "representatives can miss (paper Figure 8).\n",
                 static_cast<double>(sp_est.instructionsDetailed) / 1e6,
                 static_cast<double>(sm_est.instructionsMeasured +
-                                    sm_est.instructionsWarmed) /
+                                    sm_est.instructionsWarmed +
+                                    sm_est.instructionsDropped) /
                     1e6);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sisa/encoding.hh"
+#include "util/logging.hh"
 
 namespace smarts::bpred {
 
@@ -27,6 +28,30 @@ struct Prediction
 {
     bool taken = false;
     std::uint32_t target = 0;
+};
+
+/**
+ * Serialized predictor contents for checkpointing: gshare counters,
+ * BTB, RAS, and the global history register.
+ */
+struct BranchUnitState
+{
+    std::vector<std::uint8_t> counters;
+    std::vector<std::uint32_t> btbTags;
+    std::vector<std::uint32_t> btbTargets;
+    std::vector<std::uint32_t> ras;
+    std::uint32_t history = 0;
+    std::uint32_t rasTop = 0;
+    std::uint64_t lookups = 0;
+
+    std::size_t
+    byteSize() const
+    {
+        return counters.size() +
+               (btbTags.size() + btbTargets.size() + ras.size()) *
+                   sizeof(std::uint32_t) +
+               2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    }
 };
 
 class BranchUnit
@@ -115,6 +140,34 @@ class BranchUnit
         history_ = 0;
         rasTop_ = 0;
         lookups_ = 0;
+    }
+
+    void
+    saveState(BranchUnitState &state) const
+    {
+        state.counters = counters_;
+        state.btbTags = btbTags_;
+        state.btbTargets = btbTargets_;
+        state.ras = ras_;
+        state.history = history_;
+        state.rasTop = rasTop_;
+        state.lookups = lookups_;
+    }
+
+    void
+    restoreState(const BranchUnitState &state)
+    {
+        if (state.counters.size() != counters_.size() ||
+            state.btbTags.size() != btbTags_.size() ||
+            state.ras.size() != ras_.size())
+            SMARTS_FATAL("branch-unit checkpoint geometry mismatch");
+        counters_ = state.counters;
+        btbTags_ = state.btbTags;
+        btbTargets_ = state.btbTargets;
+        ras_ = state.ras;
+        history_ = state.history;
+        rasTop_ = state.rasTop;
+        lookups_ = state.lookups;
     }
 
     std::uint64_t lookups() const { return lookups_; }

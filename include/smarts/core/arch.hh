@@ -11,6 +11,8 @@
 #ifndef SMARTS_CORE_ARCH_HH
 #define SMARTS_CORE_ARCH_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +30,27 @@ struct StepInfo
     std::uint32_t memAddr = 0; ///< valid when di.isMem().
     bool taken = false;        ///< valid when di.isBranch().
     std::uint32_t nextPc = 0;
+};
+
+/**
+ * Serialized architectural state for checkpointing: registers, PC,
+ * progress counters, and the mutable data image (code is rebuilt
+ * deterministically from the benchmark spec, so it is not stored).
+ */
+struct ArchState
+{
+    std::array<std::uint32_t, 32> regs{};
+    std::uint32_t pc = 0;
+    bool finished = false;
+    std::uint64_t instCount = 0;
+    std::vector<std::uint32_t> data;
+
+    std::size_t
+    byteSize() const
+    {
+        return sizeof(regs) + sizeof(pc) + sizeof(finished) +
+               sizeof(instCount) + data.size() * sizeof(std::uint32_t);
+    }
 };
 
 class ArchCore
@@ -179,6 +202,31 @@ class ArchCore
     pc() const
     {
         return pc_;
+    }
+
+    void
+    saveState(ArchState &state) const
+    {
+        std::copy(std::begin(regs_), std::end(regs_),
+                  state.regs.begin());
+        state.pc = pc_;
+        state.finished = finished_;
+        state.instCount = instCount_;
+        state.data = program_.data;
+    }
+
+    void
+    restoreState(const ArchState &state)
+    {
+        if (state.data.size() != program_.data.size())
+            SMARTS_FATAL("arch checkpoint data image mismatch (",
+                         state.data.size(), " words vs ",
+                         program_.data.size(), ")");
+        std::copy(state.regs.begin(), state.regs.end(), regs_);
+        pc_ = state.pc;
+        finished_ = state.finished;
+        instCount_ = state.instCount;
+        program_.data = state.data;
     }
 
   private:

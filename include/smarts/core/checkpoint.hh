@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Checkpointed functional warming: the subsystem that lets ONE
+ * benchmark's stream be sharded across threads (paper Table 6 shows
+ * functional warming dominating SMARTS runtime, and warming is
+ * inherently serial — so a single long benchmark bottlenecks even a
+ * perfectly parallel experiment grid, which is exactly what PR 2's
+ * ExperimentRunner left on the table).
+ *
+ * An ArchCheckpoint serializes the full warm simulator state:
+ * architectural (registers, PC, data image) plus microarchitectural
+ * (caches, TLBs, branch predictor, fixed-point accumulators). A
+ * CheckpointLibrary plans the shard split of a sampling run's unit
+ * grid and captures each shard's resume checkpoint with a single
+ * streaming pass that applies the serial schedule's EXACT state
+ * transitions — fastForward over the warming gaps,
+ * SimSession::warmAsDetailed over the regions the serial run
+ * simulates in detail — so a shard resumed from its checkpoint
+ * measures every unit bit-identically to the serial run.
+ *
+ * The capture pass costs roughly a functional-warming pass of the
+ * stream, far less than the serial run's warming + detailed bill,
+ * and it pipelines: shard s starts executing the moment checkpoint
+ * s is captured, while the capture pass streams on toward
+ * checkpoint s+1. The library is also the seed of every future
+ * scaling step named in ROADMAP.md — pipelined warming/detail
+ * overlap, distributed runners, checkpoint reuse across design
+ * studies.
+ */
+
+#ifndef SMARTS_CORE_CHECKPOINT_HH
+#define SMARTS_CORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sampler.hh"
+#include "core/session.hh"
+
+namespace smarts::core {
+
+/** Full warm simulator state, resumable into a same-spec session. */
+struct ArchCheckpoint
+{
+    ArchState arch;
+    TimingState timing;
+
+    /** Instruction position the checkpoint resumes at. */
+    std::uint64_t position = 0;
+
+    /** First measured grid index of the shard this resume feeds. */
+    std::uint64_t unitIndex = 0;
+
+    /** Approximate serialized footprint, for capacity planning. */
+    std::size_t
+    byteSize() const
+    {
+        return arch.byteSize() + timing.byteSize() +
+               2 * sizeof(std::uint64_t);
+    }
+};
+
+/** One contiguous slice of a sampling run's measured-unit grid. */
+struct ShardSpec
+{
+    /** Grid index (offset + m*k form) of the shard's first unit. */
+    std::uint64_t firstUnitIndex = 0;
+
+    /** Measured units owned by this shard. */
+    std::uint64_t unitCount = 0;
+
+    /** Serial instruction position at the shard's first iteration. */
+    std::uint64_t resumePos = 0;
+
+    /** Last shard: run the stream out so streamLength is exact. */
+    bool runsTail = false;
+};
+
+/**
+ * A built checkpoint library: the shard plan plus every captured
+ * resume checkpoint, reusable across runs. Capturing costs roughly
+ * one warming pass; once built, sharded measurement of the same
+ * (benchmark, sampling design) scales with threads and re-runs —
+ * the tuned second pass of the two-pass procedure, config sweeps,
+ * repeated design studies — pay no warming at all.
+ */
+class CheckpointLibrary
+{
+  public:
+    /** Called as checkpoint @p shard becomes available (shard >= 1). */
+    using CheckpointSink =
+        std::function<void(std::size_t shard, ArchCheckpoint &&)>;
+
+    /**
+     * Split the measured-unit grid of (@p config, @p streamLength)
+     * into at most @p shards contiguous, non-empty shards (clamped
+     * to the unit count; an empty grid yields one tail-only shard).
+     * Shard boundaries land on iteration starts of the serial
+     * sampling loop, i.e. just after the previous measured unit
+     * completes.
+     */
+    static std::vector<ShardSpec>
+    planShards(const SamplingConfig &config,
+               std::uint64_t streamLength, std::size_t shards);
+
+    /**
+     * Stream @p session (fresh, at stream start) through the serial
+     * sampling schedule using state-equivalent warming, invoking
+     * @p sink the moment each shard's resume state is reached.
+     * Shard 0 resumes at stream start and gets no checkpoint. The
+     * pass stops after the last checkpoint — the tail belongs to
+     * the last shard.
+     */
+    static void capture(SimSession &session,
+                        const SamplingConfig &config,
+                        const std::vector<ShardSpec> &plan,
+                        const CheckpointSink &sink);
+
+    /**
+     * Capture every checkpoint of @p plan into a reusable library
+     * (slot 0 is an empty placeholder — shard 0 needs none).
+     */
+    static CheckpointLibrary build(SimSession &session,
+                                   const SamplingConfig &config,
+                                   const std::vector<ShardSpec> &plan);
+
+    CheckpointLibrary() = default;
+
+    const SamplingConfig &
+    samplingConfig() const
+    {
+        return config_;
+    }
+
+    const std::vector<ShardSpec> &
+    plan() const
+    {
+        return plan_;
+    }
+
+    const ArchCheckpoint &
+    at(std::size_t shard) const
+    {
+        return checkpoints_[shard];
+    }
+
+    std::size_t
+    shardCount() const
+    {
+        return plan_.size();
+    }
+
+    /** Total in-memory footprint of the captured checkpoints. */
+    std::size_t
+    byteSize() const
+    {
+        std::size_t total = 0;
+        for (const ArchCheckpoint &cp : checkpoints_)
+            total += cp.byteSize();
+        return total;
+    }
+
+  private:
+    SamplingConfig config_;
+    std::vector<ShardSpec> plan_;
+    std::vector<ArchCheckpoint> checkpoints_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_CHECKPOINT_HH

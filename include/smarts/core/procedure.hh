@@ -71,8 +71,7 @@ struct MatchedProcedureResult
 class SmartsProcedure
 {
   public:
-    using SessionFactory =
-        std::function<std::unique_ptr<SimSession>()>;
+    using SessionFactory = core::SessionFactory;
     using MultiSessionFactory =
         std::function<std::unique_ptr<MultiSession>()>;
 
@@ -85,6 +84,18 @@ class SmartsProcedure
      */
     ProcedureResult estimate(const SessionFactory &factory,
                              std::uint64_t streamLength) const;
+
+    /**
+     * Two-pass procedure with each pass executed as a
+     * checkpoint-sharded run (SystematicSampler::runSharded): the
+     * unit grid splits into @p shards shards that resume from
+     * captured warm state on @p pool. Estimates are bit-identical
+     * to estimate()'s at any shard/thread count.
+     */
+    ProcedureResult estimateSharded(const SessionFactory &factory,
+                                    std::uint64_t streamLength,
+                                    exec::ThreadPool &pool,
+                                    std::size_t shards) const;
 
     /**
      * Matched multi-config variant: one functional-warming stream

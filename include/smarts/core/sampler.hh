@@ -14,6 +14,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/multi_session.hh"
@@ -21,7 +23,16 @@
 #include "stats/confidence.hh"
 #include "stats/online_stats.hh"
 
+namespace smarts::exec {
+class ThreadPool;
+} // namespace smarts::exec
+
 namespace smarts::core {
+
+class CheckpointLibrary;
+
+/** Builds a fresh session at stream start (thread-safe, reentrant). */
+using SessionFactory = std::function<std::unique_ptr<SimSession>()>;
 
 struct SamplingConfig
 {
@@ -34,6 +45,9 @@ struct SamplingConfig
     /**
      * Pick k so that roughly @p targetUnits units of @p unitSize are
      * measured out of a @p totalInsts stream (never below 1).
+     * Rounds to the NEAREST interval: truncation used to turn e.g.
+     * units=1999, target=1000 into k=1 and measure ~2x the requested
+     * units (with the detailed-simulation bill to match).
      */
     static std::uint64_t
     chooseInterval(std::uint64_t totalInsts, std::uint64_t unitSize,
@@ -43,7 +57,32 @@ struct SamplingConfig
             unitSize ? totalInsts / unitSize : 0;
         if (!targetUnits || units <= targetUnits)
             return 1;
-        return units / targetUnits;
+        // Round half up, overflow-free: bump the quotient when the
+        // remainder reaches half the divisor.
+        const std::uint64_t k = units / targetUnits +
+                                (units % targetUnits >=
+                                         (targetUnits + 1) / 2
+                                     ? 1
+                                     : 0);
+        return k ? k : 1;
+    }
+
+    /**
+     * First grid index at or after instruction position @p pos,
+     * starting from grid index @p idx (any index of the form
+     * offset + m*interval). O(1) arithmetic — the sampler's resume
+     * path used to step the index one interval per loop iteration.
+     */
+    std::uint64_t
+    nextGridIndex(std::uint64_t idx, std::uint64_t pos) const
+    {
+        const std::uint64_t firstWhole =
+            unitSize ? (pos + unitSize - 1) / unitSize : 0;
+        if (firstWhole <= idx)
+            return idx;
+        const std::uint64_t steps =
+            (firstWhole - idx + interval - 1) / interval;
+        return idx + steps * interval;
     }
 };
 
@@ -52,8 +91,19 @@ struct SmartsEstimate
 {
     stats::OnlineStats cpiStats; ///< per-unit CPI observations.
     stats::OnlineStats epiStats; ///< per-unit EPI observations (nJ).
+
+    /** Instructions in COMPLETE units: always units() * U. */
     std::uint64_t instructionsMeasured = 0;
     std::uint64_t instructionsWarmed = 0; ///< detailed warming insts.
+
+    /**
+     * Detailed-simulated instructions of a truncated final unit:
+     * they cost detailed-simulation time but produced no CPI/EPI
+     * observation, so they are tracked apart from
+     * instructionsMeasured (which previously absorbed them,
+     * overstating the instructions behind the statistics).
+     */
+    std::uint64_t instructionsDropped = 0;
     std::uint64_t streamLength = 0;
 
     std::uint64_t
@@ -99,13 +149,18 @@ struct SmartsEstimate
         return stats::confidenceHalfWidth(epiCv(), units(), level);
     }
 
-    /** Fraction of the stream simulated in detail (measure + warm). */
+    /**
+     * Fraction of the stream simulated in detail (measure + warm +
+     * the truncated final unit, which was detailed-simulated even
+     * though it yielded no observation).
+     */
     double
     detailedFraction() const
     {
         return streamLength
                    ? static_cast<double>(instructionsMeasured +
-                                         instructionsWarmed) /
+                                         instructionsWarmed +
+                                         instructionsDropped) /
                          static_cast<double>(streamLength)
                    : 0.0;
     }
@@ -196,6 +251,44 @@ class SystematicSampler
      * functional-warming pass feeds all N timing models.
      */
     MatchedEstimate runMatched(MultiSession &session) const;
+
+    /**
+     * Checkpoint-sharded run of ONE benchmark's stream: the unit
+     * grid is split into @p shards contiguous shards
+     * (CheckpointLibrary::planShards), a capture pass streams the
+     * serial schedule in state-equivalent warming modes and emits
+     * each shard's resume checkpoint the moment it is reached, and
+     * shards execute on @p pool as their checkpoints materialize
+     * (shard 0 starts immediately). Per-shard results are merged in
+     * shard order by replaying the per-unit observations through
+     * the estimate's accumulators — replay rather than
+     * stats::OnlineStats::merge because Chan's merge, while
+     * algebraically exact, rounds differently from sequential
+     * accumulation and the bar here is BIT-IDENTITY: the returned
+     * SmartsEstimate equals run()'s byte for byte at any shard and
+     * thread count (ctest-enforced by tests/test_checkpoint.cc).
+     *
+     * @p streamLength must be the benchmark's true dynamic length
+     * (one functional pass, or a prior reference) — the same
+     * contract SmartsProcedure::estimate already imposes.
+     */
+    SmartsEstimate runSharded(const SessionFactory &factory,
+                              std::uint64_t streamLength,
+                              std::size_t shards,
+                              exec::ThreadPool &pool) const;
+
+    /**
+     * Sharded run resuming from a PREBUILT checkpoint library
+     * (CheckpointLibrary::build): no capture pass in this call, so
+     * the wall clock is the shard work divided by the pool — this
+     * is the checkpoint-reuse fast path for tuned second passes and
+     * repeated design studies over the same benchmark. The library
+     * must have been built with this sampler's SamplingConfig
+     * (fatal otherwise); the estimate is bit-identical to run()'s.
+     */
+    SmartsEstimate runSharded(const SessionFactory &factory,
+                              const CheckpointLibrary &library,
+                              exec::ThreadPool &pool) const;
 
   private:
     SamplingConfig config_;

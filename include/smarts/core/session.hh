@@ -45,6 +45,32 @@ class SimSession
     Segment detailedRun(std::uint64_t maxInsts);
 
     /**
+     * Execute up to @p maxInsts applying detailedRun's exact
+     * microarchitectural state transitions (including wrong-path
+     * pollution and predictor lookup traffic) without the timing
+     * bookkeeping. The checkpoint capture pass uses this to stream
+     * through regions a serial sampling run simulates in detail, so
+     * the captured state matches the serial run's bit for bit.
+     */
+    std::uint64_t warmAsDetailed(std::uint64_t maxInsts);
+
+    /** Snapshot the full simulator state (core/checkpoint.hh). */
+    void
+    saveState(ArchState &arch, TimingState &timing) const
+    {
+        arch_.saveState(arch);
+        model_.saveState(timing);
+    }
+
+    /** Resume from a snapshot of a same-spec, same-config session. */
+    void
+    restoreState(const ArchState &arch, const TimingState &timing)
+    {
+        arch_.restoreState(arch);
+        model_.restoreState(timing);
+    }
+
+    /**
      * Functional profiling pass to end of stream: per-interval
      * basic-block vectors projected into @p dims buckets (the
      * SimPoint front end). Intervals are @p intervalSize

@@ -31,6 +31,32 @@ struct AccessResult
     bool hit = false;
 };
 
+/**
+ * Serialized cache contents for checkpointing (core/checkpoint.hh):
+ * the full tag/valid/recency image plus the event counters, enough
+ * to resume a warm cache bit-exactly.
+ */
+struct CacheState
+{
+    std::vector<std::uint32_t> tags;
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint64_t> lastUse;
+    std::vector<std::uint32_t> mruWay;
+    std::uint64_t tick = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t misses = 0;
+
+    std::size_t
+    byteSize() const
+    {
+        return tags.size() * sizeof(std::uint32_t) + valid.size() +
+               lastUse.size() * sizeof(std::uint64_t) +
+               mruWay.size() * sizeof(std::uint32_t) +
+               4 * sizeof(std::uint64_t);
+    }
+};
+
 class Cache
 {
   public:
@@ -118,6 +144,36 @@ class Cache
         std::fill(lastUse_.begin(), lastUse_.end(), 0);
         std::fill(mruWay_.begin(), mruWay_.end(), 0);
         tick_ = loads_ = stores_ = misses_ = 0;
+    }
+
+    void
+    saveState(CacheState &state) const
+    {
+        state.tags = tags_;
+        state.valid = valid_;
+        state.lastUse = lastUse_;
+        state.mruWay = mruWay_;
+        state.tick = tick_;
+        state.loads = loads_;
+        state.stores = stores_;
+        state.misses = misses_;
+    }
+
+    void
+    restoreState(const CacheState &state)
+    {
+        if (state.tags.size() != tags_.size() ||
+            state.mruWay.size() != mruWay_.size())
+            SMARTS_FATAL("cache '", name_,
+                         "': checkpoint geometry mismatch");
+        tags_ = state.tags;
+        valid_ = state.valid;
+        lastUse_ = state.lastUse;
+        mruWay_ = state.mruWay;
+        tick_ = state.tick;
+        loads_ = state.loads;
+        stores_ = state.stores;
+        misses_ = state.misses;
     }
 
     const std::string &name() const { return name_; }

@@ -49,6 +49,35 @@ struct MemResult
 };
 
 /**
+ * Serialized TLB contents for checkpointing: the entry array, the
+ * intrusive LRU list, and the open-addressing page index are all
+ * captured verbatim so a restored TLB replays the identical
+ * hit/miss/eviction sequence.
+ */
+struct TlbState
+{
+    std::vector<std::uint32_t> pages;
+    std::vector<std::uint8_t> valid;
+    std::vector<std::uint32_t> next;
+    std::vector<std::uint32_t> prev;
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+    std::vector<std::uint32_t> keys;
+    std::vector<std::uint32_t> vals;
+    std::uint64_t misses = 0;
+
+    std::size_t
+    byteSize() const
+    {
+        return (pages.size() + next.size() + prev.size() +
+                keys.size() + vals.size()) *
+                   sizeof(std::uint32_t) +
+               valid.size() + 2 * sizeof(std::uint32_t) +
+               sizeof(std::uint64_t);
+    }
+};
+
+/**
  * Tiny fully-associative true-LRU TLB. LRU order lives in an
  * intrusive doubly-linked list and lookups go through a small
  * open-addressing page index, so hits and misses are O(1) instead
@@ -107,6 +136,37 @@ class Tlb
         std::fill(keys_.begin(), keys_.end(), 0);
         initList();
         misses_ = 0;
+    }
+
+    void
+    saveState(TlbState &state) const
+    {
+        state.pages = pages_;
+        state.valid = valid_;
+        state.next = next_;
+        state.prev = prev_;
+        state.head = head_;
+        state.tail = tail_;
+        state.keys = keys_;
+        state.vals = vals_;
+        state.misses = misses_;
+    }
+
+    void
+    restoreState(const TlbState &state)
+    {
+        if (state.pages.size() != pages_.size() ||
+            state.keys.size() != keys_.size())
+            SMARTS_FATAL("TLB checkpoint geometry mismatch");
+        pages_ = state.pages;
+        valid_ = state.valid;
+        next_ = state.next;
+        prev_ = state.prev;
+        head_ = state.head;
+        tail_ = state.tail;
+        keys_ = state.keys;
+        vals_ = state.vals;
+        misses_ = state.misses;
     }
 
     std::uint64_t misses() const { return misses_; }
@@ -217,6 +277,23 @@ class Tlb
     std::uint64_t misses_ = 0;
 };
 
+/** Serialized hierarchy: every cache and TLB, in member order. */
+struct HierarchyState
+{
+    CacheState l1i;
+    CacheState l1d;
+    CacheState l2;
+    TlbState itlb;
+    TlbState dtlb;
+
+    std::size_t
+    byteSize() const
+    {
+        return l1i.byteSize() + l1d.byteSize() + l2.byteSize() +
+               itlb.byteSize() + dtlb.byteSize();
+    }
+};
+
 class MemHierarchy
 {
   public:
@@ -274,6 +351,26 @@ class MemHierarchy
         l2_.reset();
         itlb_.reset();
         dtlb_.reset();
+    }
+
+    void
+    saveState(HierarchyState &state) const
+    {
+        l1i_.saveState(state.l1i);
+        l1d_.saveState(state.l1d);
+        l2_.saveState(state.l2);
+        itlb_.saveState(state.itlb);
+        dtlb_.saveState(state.dtlb);
+    }
+
+    void
+    restoreState(const HierarchyState &state)
+    {
+        l1i_.restoreState(state.l1i);
+        l1d_.restoreState(state.l1d);
+        l2_.restoreState(state.l2);
+        itlb_.restoreState(state.itlb);
+        dtlb_.restoreState(state.dtlb);
     }
 
     const HierarchyConfig &config() const { return config_; }

@@ -1,0 +1,128 @@
+#include "core/checkpoint.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+std::vector<ShardSpec>
+CheckpointLibrary::planShards(const SamplingConfig &config,
+                              std::uint64_t streamLength,
+                              std::size_t shards)
+{
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t k = config.interval;
+    const std::uint64_t offset = config.offset;
+    if (!u || !k)
+        SMARTS_FATAL("planShards needs nonzero unit size and interval");
+
+    // Measured units whose start lies inside the stream (the last
+    // may be truncated; the serial loop still iterates it).
+    std::uint64_t unitCount = 0;
+    if (streamLength && offset <= (streamLength - 1) / u)
+        unitCount = ((streamLength - 1) / u - offset) / k + 1;
+
+    const std::uint64_t want = shards ? shards : 1;
+    const std::uint64_t count =
+        std::max<std::uint64_t>(
+            1, std::min<std::uint64_t>(want, unitCount ? unitCount
+                                                       : 1));
+
+    std::vector<ShardSpec> plan(count);
+    for (std::uint64_t s = 0; s < count; ++s) {
+        const std::uint64_t mBegin = unitCount * s / count;
+        const std::uint64_t mEnd = unitCount * (s + 1) / count;
+        plan[s].firstUnitIndex = offset + mBegin * k;
+        plan[s].unitCount = mEnd - mBegin;
+        // The serial loop reaches unit mBegin's iteration exactly at
+        // the previous measured unit's end (shard boundaries are
+        // interior, so that unit is complete).
+        plan[s].resumePos =
+            s == 0 ? 0 : (offset + (mBegin - 1) * k) * u + u;
+        plan[s].runsTail = s + 1 == count;
+    }
+    return plan;
+}
+
+void
+CheckpointLibrary::capture(SimSession &session,
+                           const SamplingConfig &config,
+                           const std::vector<ShardSpec> &plan,
+                           const CheckpointSink &sink)
+{
+    if (plan.size() <= 1)
+        return;
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t w = config.detailedWarming;
+    const std::uint64_t k = config.interval;
+    if (!u || !k)
+        SMARTS_FATAL("capture needs nonzero unit size and interval");
+
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
+    std::size_t next = 1;
+
+    // Mirror the serial sampling schedule with state-equivalent
+    // warming: fastForward over the inter-unit gaps (identical to
+    // the serial run), warmAsDetailed over the detailed-warming and
+    // measured windows (identical state transitions, no timing).
+    // At each shard boundary — an iteration start — the session
+    // state is bit-identical to the serial run's, so snapshot it.
+    while (next < plan.size()) {
+        if (unitIdx >= plan[next].firstUnitIndex) {
+            ArchCheckpoint cp;
+            session.saveState(cp.arch, cp.timing);
+            cp.position = session.instCount();
+            cp.unitIndex = plan[next].firstUnitIndex;
+            sink(next, std::move(cp));
+            ++next;
+            continue;
+        }
+        // Stream shorter than planned (mis-stated length): the
+        // remaining checkpoints are unreachable.
+        if (session.finished() || unitIdx > ~0ull / u)
+            break;
+
+        const std::uint64_t unitStart = unitIdx * u;
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config.warming);
+            if (session.finished())
+                continue;
+        }
+        if (unitStart > pos)
+            pos += session.warmAsDetailed(unitStart - pos);
+        pos += session.warmAsDetailed(u);
+        unitIdx += k;
+    }
+}
+
+CheckpointLibrary
+CheckpointLibrary::build(SimSession &session,
+                         const SamplingConfig &config,
+                         const std::vector<ShardSpec> &plan)
+{
+    CheckpointLibrary library;
+    library.config_ = config;
+    library.plan_ = plan;
+    library.checkpoints_.resize(plan.size());
+    capture(session, config, plan,
+            [&library](std::size_t s, ArchCheckpoint &&cp) {
+                library.checkpoints_[s] = std::move(cp);
+            });
+    // The stream ending before every boundary means the plan's
+    // streamLength was overstated; fail here with a clear message
+    // rather than mid-pool when a shard restores an empty snapshot.
+    for (std::size_t s = 1; s < plan.size(); ++s)
+        if (library.checkpoints_[s].arch.data.empty())
+            SMARTS_FATAL("stream ended before the checkpoint for "
+                         "shard ", s, " (position ",
+                         plan[s].resumePos,
+                         ") — was streamLength overstated?");
+    return library;
+}
+
+} // namespace smarts::core

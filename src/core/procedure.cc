@@ -13,37 +13,76 @@ SmartsProcedure::SmartsProcedure(const ProcedureConfig &config)
         SMARTS_FATAL("procedure nInit must be nonzero");
 }
 
+namespace {
+
+/** One sampling pass: serial, or checkpoint-sharded on a pool. */
+core::SmartsEstimate
+runPass(const SamplingConfig &sc,
+        const SmartsProcedure::SessionFactory &factory,
+        std::uint64_t streamLength, exec::ThreadPool *pool,
+        std::size_t shards)
+{
+    if (pool)
+        return SystematicSampler(sc).runSharded(factory, streamLength,
+                                                shards, *pool);
+    auto session = factory();
+    return SystematicSampler(sc).run(*session);
+}
+
 ProcedureResult
-SmartsProcedure::estimate(const SessionFactory &factory,
-                          std::uint64_t streamLength) const
+twoPass(const ProcedureConfig &config,
+        const SmartsProcedure::SessionFactory &factory,
+        std::uint64_t streamLength, exec::ThreadPool *pool,
+        std::size_t shards)
 {
     SamplingConfig sc;
-    sc.unitSize = config_.unitSize;
-    sc.detailedWarming = config_.detailedWarming;
-    sc.warming = config_.warming;
+    sc.unitSize = config.unitSize;
+    sc.detailedWarming = config.detailedWarming;
+    sc.warming = config.warming;
     sc.interval = SamplingConfig::chooseInterval(
-        streamLength, config_.unitSize, config_.nInit);
+        streamLength, config.unitSize, config.nInit);
 
     ProcedureResult result;
-    {
-        auto session = factory();
-        result.initial = SystematicSampler(sc).run(*session);
-    }
+    result.initial =
+        runPass(sc, factory, streamLength, pool, shards);
 
     // Size n_tuned from the measured V-hat (Eq. 3); rerun only when
     // the initial confidence interval misses the target.
     result.recommendedN = stats::requiredSampleSize(
-        result.initial.cpiCv(), config_.target);
+        result.initial.cpiCv(), config.target);
     const double ci =
-        result.initial.cpiConfidenceInterval(config_.target.level);
-    if (ci <= config_.target.epsilon)
+        result.initial.cpiConfidenceInterval(config.target.level);
+    if (ci <= config.target.epsilon)
         return result;
 
-    sc.interval = SamplingConfig::chooseInterval(
-        streamLength, config_.unitSize, result.recommendedN);
-    auto session = factory();
-    result.tuned = SystematicSampler(sc).run(*session);
+    // The tuned pass must MEET n_tuned — Eq. 3 gives a minimum, so
+    // round-to-nearest (which can undershoot by half an interval's
+    // worth of units) is wrong here; floor division guarantees at
+    // least recommendedN units.
+    const std::uint64_t units = streamLength / config.unitSize;
+    sc.interval = units > result.recommendedN && result.recommendedN
+                      ? units / result.recommendedN
+                      : 1;
+    result.tuned = runPass(sc, factory, streamLength, pool, shards);
     return result;
+}
+
+} // namespace
+
+ProcedureResult
+SmartsProcedure::estimate(const SessionFactory &factory,
+                          std::uint64_t streamLength) const
+{
+    return twoPass(config_, factory, streamLength, nullptr, 0);
+}
+
+ProcedureResult
+SmartsProcedure::estimateSharded(const SessionFactory &factory,
+                                 std::uint64_t streamLength,
+                                 exec::ThreadPool &pool,
+                                 std::size_t shards) const
+{
+    return twoPass(config_, factory, streamLength, &pool, shards);
 }
 
 MatchedProcedureResult

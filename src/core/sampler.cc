@@ -1,8 +1,129 @@
 #include "core/sampler.hh"
 
+#include <utility>
+
+#include "core/checkpoint.hh"
+#include "exec/thread_pool.hh"
 #include "util/logging.hh"
 
 namespace smarts::core {
+
+namespace {
+
+/** One measured unit's observations, in stream order. */
+struct UnitObs
+{
+    double cpi = 0.0;
+    double epi = 0.0;
+};
+
+/** Raw results of one contiguous slice of the sampling loop. */
+struct SliceResult
+{
+    std::vector<UnitObs> obs; ///< per complete unit, stream order.
+    std::uint64_t measured = 0;
+    std::uint64_t warmed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t endPos = 0; ///< session position at slice end.
+};
+
+/**
+ * The serial sampling loop over one slice of the unit grid — shared
+ * verbatim by run() (a single all-units slice) and runSharded()
+ * (one slice per shard resumed from its checkpoint), so the sharded
+ * path cannot drift from the serial semantics.
+ */
+SliceResult
+runSlice(SimSession &session, const SamplingConfig &config,
+         std::uint64_t startIdx, std::uint64_t maxUnits, bool runTail)
+{
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t w = config.detailedWarming;
+    const std::uint64_t k = config.interval;
+
+    SliceResult r;
+    std::uint64_t pos = session.instCount();
+
+    // O(1) jump to the first grid index whose unit starts at or
+    // after the session's position (resumed sessions).
+    std::uint64_t unitIdx = config.nextGridIndex(startIdx, pos);
+    std::uint64_t done = 0;
+
+    while (!session.finished() && done < maxUnits) {
+        // Grid index past any representable stream position: done
+        // (and the unitIdx * u product stays overflow-free).
+        if (unitIdx > ~0ull / u)
+            break;
+        const std::uint64_t unitStart = unitIdx * u;
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+
+        // Fast-forward the inter-unit gap in the warming mode.
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config.warming);
+            if (session.finished())
+                break;
+        }
+
+        // Detailed warming W: timing on, measurement discarded.
+        if (unitStart > pos) {
+            const Segment warm = session.detailedRun(unitStart - pos);
+            r.warmed += warm.instructions;
+            pos += warm.instructions;
+            if (session.finished())
+                break;
+        }
+
+        // The measured unit.
+        const Segment seg = session.detailedRun(u);
+        pos += seg.instructions;
+        if (seg.instructions == u) {
+            r.measured += u;
+            r.obs.push_back(
+                {static_cast<double>(seg.cycles) /
+                     static_cast<double>(u),
+                 seg.energyNj /
+                     static_cast<double>(seg.instructions)});
+        } else {
+            // Truncated final unit: detailed-simulation cost that
+            // produced no observation — tracked apart from the
+            // measured instructions behind the statistics.
+            r.dropped += seg.instructions;
+        }
+        ++done;
+        unitIdx += k;
+    }
+
+    // Run out the tail so streamLength is the true benchmark length.
+    if (runTail)
+        while (!session.finished())
+            session.fastForward(~0ull >> 1, config.warming);
+    r.endPos = session.instCount();
+    return r;
+}
+
+/**
+ * Accumulate a slice into the estimate by replaying its per-unit
+ * observations in stream order. Replay, not OnlineStats::merge:
+ * Chan's merge rounds differently from sequential accumulation, and
+ * runSharded's contract is bit-identity with run().
+ */
+void
+foldSlice(SmartsEstimate &est, const SliceResult &slice)
+{
+    for (const UnitObs &o : slice.obs) {
+        est.cpiStats.add(o.cpi);
+        est.epiStats.add(o.epi);
+    }
+    est.instructionsMeasured += slice.measured;
+    est.instructionsWarmed += slice.warmed;
+    est.instructionsDropped += slice.dropped;
+    if (slice.endPos > est.streamLength)
+        est.streamLength = slice.endPos;
+}
+
+} // namespace
 
 SystematicSampler::SystematicSampler(const SamplingConfig &config)
     : config_(config)
@@ -16,59 +137,9 @@ SystematicSampler::SystematicSampler(const SamplingConfig &config)
 SmartsEstimate
 SystematicSampler::run(SimSession &session) const
 {
-    const std::uint64_t u = config_.unitSize;
-    const std::uint64_t w = config_.detailedWarming;
-    const std::uint64_t k = config_.interval;
-
     SmartsEstimate est;
-    std::uint64_t pos = session.instCount();
-    std::uint64_t unitIdx = config_.offset;
-
-    while (!session.finished()) {
-        const std::uint64_t unitStart = unitIdx * u;
-        if (unitStart < pos) {
-            // Offset landed behind the current position (resumed
-            // sessions); skip to the next unit on the grid.
-            unitIdx += k;
-            continue;
-        }
-        const std::uint64_t warmStart =
-            unitStart > w ? unitStart - w : 0;
-
-        // Fast-forward the inter-unit gap in the warming mode.
-        if (warmStart > pos) {
-            pos += session.fastForward(warmStart - pos,
-                                       config_.warming);
-            if (session.finished())
-                break;
-        }
-
-        // Detailed warming W: timing on, measurement discarded.
-        if (unitStart > pos) {
-            const Segment warm = session.detailedRun(unitStart - pos);
-            est.instructionsWarmed += warm.instructions;
-            pos += warm.instructions;
-            if (session.finished())
-                break;
-        }
-
-        // The measured unit.
-        const Segment seg = session.detailedRun(u);
-        est.instructionsMeasured += seg.instructions;
-        pos += seg.instructions;
-        if (seg.instructions == u) {
-            est.cpiStats.add(static_cast<double>(seg.cycles) /
-                             static_cast<double>(u));
-            est.epiStats.add(seg.energyNj /
-                             static_cast<double>(seg.instructions));
-        }
-        unitIdx += k;
-    }
-
-    // Run out the tail so streamLength is the true benchmark length.
-    while (!session.finished())
-        session.fastForward(~0ull >> 1, config_.warming);
-    est.streamLength = session.instCount();
+    foldSlice(est, runSlice(session, config_, config_.offset, ~0ull,
+                            /*runTail=*/true));
     return est;
 }
 
@@ -85,16 +156,15 @@ SystematicSampler::runMatched(MultiSession &session) const
     est.cpiDelta.resize(n);
 
     std::uint64_t pos = session.instCount();
-    std::uint64_t unitIdx = config_.offset;
+
+    // O(1) jump to the grid (resumed sessions), as in runSlice.
+    std::uint64_t unitIdx =
+        config_.nextGridIndex(config_.offset, pos);
 
     while (!session.finished()) {
+        if (unitIdx > ~0ull / u)
+            break;
         const std::uint64_t unitStart = unitIdx * u;
-        if (unitStart < pos) {
-            // Offset landed behind the current position (resumed
-            // sessions); skip to the next unit on the grid.
-            unitIdx += k;
-            continue;
-        }
         const std::uint64_t warmStart =
             unitStart > w ? unitStart - w : 0;
 
@@ -122,9 +192,10 @@ SystematicSampler::runMatched(MultiSession &session) const
         // The measured unit: every config observes the same window.
         const MultiSegment seg = session.detailedRun(u);
         pos += seg.instructions;
-        for (std::size_t c = 0; c < n; ++c)
-            est.perConfig[c].instructionsMeasured += seg.instructions;
         if (seg.instructions == u) {
+            for (std::size_t c = 0; c < n; ++c)
+                est.perConfig[c].instructionsMeasured +=
+                    seg.instructions;
             const double cpi0 = static_cast<double>(seg.per[0].cycles) /
                                 static_cast<double>(u);
             for (std::size_t c = 0; c < n; ++c) {
@@ -137,6 +208,11 @@ SystematicSampler::runMatched(MultiSession &session) const
                     static_cast<double>(seg.instructions));
                 est.cpiDelta[c].add(cpi - cpi0);
             }
+        } else {
+            // Truncated final unit: mirror runSlice's accounting.
+            for (std::size_t c = 0; c < n; ++c)
+                est.perConfig[c].instructionsDropped +=
+                    seg.instructions;
         }
         unitIdx += k;
     }
@@ -146,6 +222,107 @@ SystematicSampler::runMatched(MultiSession &session) const
         session.fastForward(~0ull >> 1, config_.warming);
     for (std::size_t c = 0; c < n; ++c)
         est.perConfig[c].streamLength = session.instCount();
+    return est;
+}
+
+SmartsEstimate
+SystematicSampler::runSharded(const SessionFactory &factory,
+                              std::uint64_t streamLength,
+                              std::size_t shards,
+                              exec::ThreadPool &pool) const
+{
+    if (!factory)
+        SMARTS_FATAL("runSharded needs a session factory");
+    const std::vector<ShardSpec> plan =
+        CheckpointLibrary::planShards(config_, streamLength, shards);
+
+    std::vector<SliceResult> results(plan.size());
+    const SamplingConfig config = config_;
+
+    // Each shard job writes only its own result slot; pool.wait()
+    // publishes every slot to this thread, so the batch is
+    // bit-identical at any thread count.
+    auto submitShard = [&results, &pool, &factory, &plan,
+                        config](std::size_t s, ArchCheckpoint &&cp) {
+        pool.submit([&results, &factory, &plan, config, s,
+                     cp = std::move(cp)] {
+            std::unique_ptr<SimSession> session = factory();
+            if (s)
+                session->restoreState(cp.arch, cp.timing);
+            const ShardSpec &shard = plan[s];
+            results[s] = runSlice(
+                *session, config, shard.firstUnitIndex,
+                shard.runsTail ? ~0ull : shard.unitCount,
+                shard.runsTail);
+        });
+    };
+
+    // Shard 0 resumes at stream start: dispatch it before the
+    // capture pass so it overlaps checkpoint production.
+    submitShard(0, ArchCheckpoint{});
+
+    std::uint64_t capturePos = 0;
+    if (plan.size() > 1) {
+        std::unique_ptr<SimSession> captureSession = factory();
+        CheckpointLibrary::capture(
+            *captureSession, config_, plan,
+            [&submitShard](std::size_t s, ArchCheckpoint &&cp) {
+                submitShard(s, std::move(cp));
+            });
+        capturePos = captureSession->instCount();
+    }
+    pool.wait();
+
+    SmartsEstimate est;
+    for (const SliceResult &slice : results)
+        foldSlice(est, slice);
+    // Normally the tail shard ran the stream out; if the plan
+    // overstated the stream (caller passed a wrong length), the
+    // capture pass's own progress still bounds what was simulated.
+    if (capturePos > est.streamLength)
+        est.streamLength = capturePos;
+    return est;
+}
+
+SmartsEstimate
+SystematicSampler::runSharded(const SessionFactory &factory,
+                              const CheckpointLibrary &library,
+                              exec::ThreadPool &pool) const
+{
+    if (!factory)
+        SMARTS_FATAL("runSharded needs a session factory");
+    const SamplingConfig &built = library.samplingConfig();
+    if (built.unitSize != config_.unitSize ||
+        built.detailedWarming != config_.detailedWarming ||
+        built.interval != config_.interval ||
+        built.offset != config_.offset ||
+        built.warming != config_.warming)
+        SMARTS_FATAL("checkpoint library was built for a different "
+                     "sampling design");
+    const std::vector<ShardSpec> &plan = library.plan();
+    if (plan.empty())
+        SMARTS_FATAL("checkpoint library has no shards");
+
+    std::vector<SliceResult> results(plan.size());
+    const SamplingConfig config = config_;
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+        pool.submit([&results, &factory, &plan, &library, config, s] {
+            std::unique_ptr<SimSession> session = factory();
+            if (s)
+                session->restoreState(library.at(s).arch,
+                                      library.at(s).timing);
+            const ShardSpec &shard = plan[s];
+            results[s] = runSlice(
+                *session, config, shard.firstUnitIndex,
+                shard.runsTail ? ~0ull : shard.unitCount,
+                shard.runsTail);
+        });
+    }
+    pool.wait();
+
+    SmartsEstimate est;
+    for (const SliceResult &slice : results)
+        foldSlice(est, slice);
     return est;
 }
 

@@ -28,6 +28,20 @@ SimSession::fastForward(std::uint64_t maxInsts, WarmingMode mode)
     return executed;
 }
 
+std::uint64_t
+SimSession::warmAsDetailed(std::uint64_t maxInsts)
+{
+    std::uint64_t executed = 0;
+    StepInfo info;
+    while (executed < maxInsts) {
+        if (!arch_.step(info))
+            break;
+        ++executed;
+        model_.warmDetailed(info);
+    }
+    return executed;
+}
+
 Segment
 SimSession::detailedRun(std::uint64_t maxInsts)
 {

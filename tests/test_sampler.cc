@@ -34,11 +34,48 @@ testChooseInterval()
     CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 2000) == 1);
     CHECK(SamplingConfig::chooseInterval(0, 1000, 10) == 1);
     CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 0) == 1);
-    // Rounding down k keeps n >= target.
+
+    // Round to NEAREST: truncation used to map units=1999,
+    // target=1000 to k=1 and measure ~2x the requested units.
+    CHECK(SamplingConfig::chooseInterval(1'999'000, 1000, 1000) == 2);
+    // Boundary cases around the half-way point.
+    CHECK(SamplingConfig::chooseInterval(1'499'000, 1000, 1000) == 1);
+    CHECK(SamplingConfig::chooseInterval(1'500'000, 1000, 1000) == 2);
+    CHECK(SamplingConfig::chooseInterval(2'500'000, 1000, 1000) == 3);
+    CHECK(SamplingConfig::chooseInterval(2'499'000, 1000, 1000) == 2);
+    // Exactly at the target and one past it.
+    CHECK(SamplingConfig::chooseInterval(1'000'000, 1000, 1000) == 1);
+    CHECK(SamplingConfig::chooseInterval(1'001'000, 1000, 1000) == 1);
+    // Never below 1 even for enormous targets on small populations.
+    CHECK(SamplingConfig::chooseInterval(10'000, 1000, 9) == 1);
+
+    // The measured unit count now brackets the target from both
+    // sides instead of always overshooting.
     const std::uint64_t k =
         SamplingConfig::chooseInterval(1'234'567, 1000, 60);
-    CHECK(k >= 1);
-    CHECK(1'234'567 / 1000 / k >= 60);
+    CHECK(k == 21); // 1234 units / 60 = 20.57 -> nearest is 21.
+    const std::uint64_t measured = 1'234'567 / 1000 / k;
+    CHECK(measured >= 55 && measured <= 65);
+}
+
+void
+testNextGridIndex()
+{
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.interval = 7;
+    sc.offset = 3;
+    // Already at or ahead of pos: unchanged.
+    CHECK(sc.nextGridIndex(3, 0) == 3);
+    CHECK(sc.nextGridIndex(3, 3000) == 3);
+    // Mid-unit positions round up to the next whole unit, then to
+    // the next index on the grid.
+    CHECK(sc.nextGridIndex(3, 3001) == 10);
+    CHECK(sc.nextGridIndex(3, 10'000) == 10);
+    CHECK(sc.nextGridIndex(3, 10'001) == 17);
+    // Large jumps are O(1), not a loop (this would hang otherwise).
+    CHECK(sc.nextGridIndex(3, 700'000'000'000'000ull) ==
+          3 + ((700'000'000'000ull - 3 + 6) / 7) * 7);
 }
 
 void
@@ -72,9 +109,10 @@ testUnitGeometry()
         CHECK(est.units() == expected);
 
         // Every complete unit contributes exactly U measured
-        // instructions; at most one trailing partial unit adds less.
-        CHECK(est.instructionsMeasured >= est.units() * u);
-        CHECK(est.instructionsMeasured < est.units() * u + u);
+        // instructions; a trailing partial unit is tracked as
+        // dropped, never as measured.
+        CHECK(est.instructionsMeasured == est.units() * u);
+        CHECK(est.instructionsDropped < u);
 
         // W pre-warming window: every unit is preceded by exactly W
         // detailed-warmed instructions (offset*U >= W here), except
@@ -123,6 +161,83 @@ testFirstUnitOffsetZeroWarming()
 }
 
 void
+testTruncatedFinalUnitAccounting()
+{
+    // k=1 with a unit size that does not divide the stream: the
+    // final unit is truncated. Its instructions were simulated in
+    // detail but produced no observation, so they must land in
+    // instructionsDropped (not instructionsMeasured), and
+    // detailedFraction must still count the full detailed cost.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("alu-1", workloads::Scale::Mini);
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    core::SamplingConfig sc;
+    sc.unitSize = 999;
+    sc.detailedWarming = 0;
+    sc.interval = 1;
+    sc.warming = core::WarmingMode::Functional;
+
+    core::SimSession session(spec, config);
+    const core::SmartsEstimate est =
+        core::SystematicSampler(sc).run(session);
+
+    CHECK(est.units() == length / sc.unitSize);
+    CHECK(est.instructionsMeasured == est.units() * sc.unitSize);
+    CHECK(est.instructionsDropped == length % sc.unitSize);
+    CHECK(est.instructionsDropped > 0); // alu-1 mini isn't a multiple.
+    // Everything ran in detail here: measured + dropped = stream.
+    CHECK(est.instructionsMeasured + est.instructionsDropped ==
+          length);
+    CHECK_NEAR(est.detailedFraction(), 1.0, 1e-12);
+}
+
+void
+testResumedSessionSkipsToGrid()
+{
+    // A session that has already advanced must resume on the grid:
+    // the first measured unit is the first index >= the position,
+    // found in O(1) (the old implementation spun one interval per
+    // loop iteration).
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("alu-1", workloads::Scale::Mini);
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 0;
+    sc.interval = 7;
+    sc.offset = 3;
+    sc.warming = core::WarmingMode::Functional;
+
+    core::SimSession session(spec, config);
+    session.fastForward(500'500, core::WarmingMode::Functional);
+    const core::SmartsEstimate est =
+        core::SystematicSampler(sc).run(session);
+
+    // Expected: indices 3+7m with start >= 500'500 and a full unit
+    // inside the stream.
+    std::uint64_t expected = 0;
+    for (std::uint64_t idx = 3; idx * 1000 + 1000 <= length;
+         idx += 7)
+        if (idx * 1000 >= 500'500)
+            ++expected;
+    CHECK(est.units() == expected);
+    CHECK(est.streamLength == length);
+
+    // Absurdly distant offsets terminate without overflow or hangs.
+    core::SamplingConfig far = sc;
+    far.offset = ~0ull / 500; // unitIdx * u would overflow.
+    core::SimSession session2(spec, config);
+    const core::SmartsEstimate none =
+        core::SystematicSampler(far).run(session2);
+    CHECK(none.units() == 0);
+    CHECK(none.streamLength == length);
+}
+
+void
 testDenserIntervalMeasuresMore()
 {
     const auto config = uarch::MachineConfig::eightWay();
@@ -149,8 +264,11 @@ int
 main()
 {
     testChooseInterval();
+    testNextGridIndex();
     testUnitGeometry();
     testFirstUnitOffsetZeroWarming();
+    testTruncatedFinalUnitAccounting();
+    testResumedSessionSkipsToGrid();
     testDenserIntervalMeasuresMore();
     TEST_MAIN_SUMMARY();
 }

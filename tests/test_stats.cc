@@ -59,6 +59,80 @@ testOnlineStatsMerge()
 }
 
 void
+testOnlineStatsMergeSplitStreams()
+{
+    // Any contiguous split of a stream, merged shard by shard in
+    // order, must match the single-stream accumulation for
+    // mean/variance/cv — the property runSharded's per-shard
+    // statistics lean on. (Replay, not merge, gives runSharded its
+    // BIT-identity; merge is the streaming-aggregation path and is
+    // held to analytic accuracy here.)
+    const int n = 57;
+    auto sample = [](int i) {
+        return 1.0 + 0.37 * i - 0.011 * i * i +
+               (i % 7) * 0.23; // lumpy, non-monotonic.
+    };
+    stats::OnlineStats whole;
+    for (int i = 0; i < n; ++i)
+        whole.add(sample(i));
+
+    // Shard counts that produce empty, single-element, and lopsided
+    // shards (57 elements into up to 60 pieces).
+    for (const int shards : {1, 2, 5, 13, 60}) {
+        stats::OnlineStats merged;
+        for (int s = 0; s < shards; ++s) {
+            stats::OnlineStats shard;
+            for (int i = n * s / shards; i < n * (s + 1) / shards;
+                 ++i)
+                shard.add(sample(i));
+            merged.merge(shard);
+        }
+        CHECK(merged.count() == whole.count());
+        CHECK_NEAR(merged.mean(), whole.mean(), 1e-9);
+        CHECK_NEAR(merged.variance(), whole.variance(), 1e-9);
+        CHECK_NEAR(merged.cv(), whole.cv(), 1e-9);
+    }
+}
+
+void
+testOnlineStatsMergeEdges()
+{
+    // Empty into empty.
+    stats::OnlineStats a, b;
+    a.merge(b);
+    CHECK(a.count() == 0);
+    CHECK_NEAR(a.mean(), 0.0, 0.0);
+
+    // Empty into populated leaves it untouched.
+    stats::OnlineStats c;
+    c.add(2.0);
+    c.add(4.0);
+    c.merge(b);
+    CHECK(c.count() == 2);
+    CHECK_NEAR(c.mean(), 3.0, 1e-12);
+    CHECK_NEAR(c.variance(), 2.0, 1e-12);
+
+    // Populated into empty adopts it wholesale.
+    stats::OnlineStats d;
+    d.merge(c);
+    CHECK(d.count() == 2);
+    CHECK_NEAR(d.mean(), 3.0, 1e-12);
+    CHECK_NEAR(d.variance(), 2.0, 1e-12);
+
+    // A chain of single-element shards equals sequential add.
+    stats::OnlineStats singles, sequential;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats::OnlineStats one;
+        one.add(x);
+        singles.merge(one);
+        sequential.add(x);
+    }
+    CHECK(singles.count() == sequential.count());
+    CHECK_NEAR(singles.mean(), sequential.mean(), 1e-12);
+    CHECK_NEAR(singles.variance(), sequential.variance(), 1e-12);
+}
+
+void
 testZScores()
 {
     // Two-sided critical values of the standard normal.
@@ -116,6 +190,8 @@ main()
     testOnlineStatsFixture();
     testOnlineStatsEdge();
     testOnlineStatsMerge();
+    testOnlineStatsMergeSplitStreams();
+    testOnlineStatsMergeEdges();
     testZScores();
     testRequiredSampleSize();
     testHalfWidthInverse();
