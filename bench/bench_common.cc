@@ -42,6 +42,8 @@ parseOptions(int argc, char **argv, bool default_quick,
             opt.csvPath = v4;
         } else if (const char *v5 = value("--section=")) {
             opt.section = v5;
+        } else if (const char *v6 = value("--store=")) {
+            opt.storePath = v6;
         } else if (arg == "--benchmark_format" ||
                    arg.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark-style flags when invoked by
@@ -49,7 +51,8 @@ parseOptions(int argc, char **argv, bool default_quick,
         } else {
             SMARTS_FATAL("unknown flag '", arg,
                          "' (supported: --scale=, --suite=, "
-                         "--machine=, --csv=, --section=)");
+                         "--machine=, --csv=, --section=, "
+                         "--store=)");
         }
     }
     return opt;

@@ -11,6 +11,8 @@
  *   --csv=<path>               CSV output path override
  *   --section=<name>           run only one section of the bench
  *                              (benches that have sections)
+ *   --store=<dir>              checkpoint-store root for benches
+ *                              that persist/reuse warm libraries
  */
 
 #ifndef SMARTS_BENCH_COMMON_HH
@@ -38,6 +40,7 @@ struct BenchOptions
     bool runSixteen = false;
     std::string csvPath;
     std::string section; ///< empty = every section of the bench.
+    std::string storePath; ///< checkpoint-store root (--store=).
 
     std::vector<workloads::BenchmarkSpec>
     suite() const

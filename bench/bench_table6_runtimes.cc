@@ -4,7 +4,11 @@
  * and SMARTS simulation per benchmark, plus the implied speedups —
  * and the experiment engine's headline: a 2-config design study run
  * as matched-pair multi-config jobs on the parallel ExperimentRunner
- * versus the serial single-config path.
+ * versus the serial single-config path. Sections (--section=):
+ * "sharded" measures checkpoint-sharded single-benchmark streams
+ * (cold capture-bound vs warm library-reuse), "persist" measures
+ * the persistent checkpoint store (capture once per --store
+ * directory, zero capture cost on every rerun).
  *
  * Paper shape to match: SMARTS runs at roughly half the speed of
  * functional-only simulation (functional-warming bound) and achieves
@@ -32,8 +36,11 @@
 #include <memory>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench_common.hh"
 #include "core/checkpoint.hh"
+#include "core/checkpoint_store.hh"
 #include "core/perf_model.hh"
 #include "core/sampler.hh"
 #include "exec/experiment.hh"
@@ -279,6 +286,211 @@ shardedSection(const BenchOptions &opt)
     std::fflush(stdout);
 }
 
+/**
+ * Persistent checkpoint libraries: the sharded section above showed
+ * the warm (library-reuse) regime beating the cold capture-bound
+ * one, but PR 3's libraries died with the process — every design
+ * study and every run of the two-pass procedure re-paid the capture
+ * (functional warming) bill. This section runs the store-backed
+ * path: the first invocation captures each benchmark's library once
+ * and persists it (keyed by benchmark, sampling design and the
+ * machine's warm-state geometry hash); every later invocation with
+ * the same --store finds the libraries on disk and pays NO capture
+ * cost — run this section twice to watch the "capture (s)" column
+ * drop to zero. The estimate columns are golden-pinned: store-hit
+ * runs are bit-identical to the serial run by contract, so they
+ * cannot drift between the cold and warm invocations.
+ *
+ * The tail of the section demonstrates the two reuse axes beyond
+ * rerunning: ONE MultiSession streaming pass capturing the
+ * per-config libraries of a 2-config design study, and a
+ * latency-only config variant hitting the baseline's library
+ * because warm state never depends on timing parameters.
+ */
+void
+persistSection(const BenchOptions &opt)
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto suite = opt.suite();
+    exec::ThreadPool pool; // one worker per hardware thread.
+    const std::string root = opt.storePath.empty()
+                                 ? "table6_ckpt_store"
+                                 : opt.storePath;
+    core::CheckpointStore store(root);
+
+    std::printf("=== Persistent checkpoint store: capture once, "
+                "reuse every run ===\n\nstore root: %s\n\n",
+                root.c_str());
+
+    // Deterministic, golden-pinned columns: the store-backed
+    // estimate is bit-identical to the serial run by contract, and
+    // the serialized library size is a pure function of the model
+    // state (the format is endian-explicit), so every value here is
+    // reproducible on any host — including across the cold and warm
+    // invocations the CI pair runs.
+    TextTable det({"benchmark", "units", "cpi", "file KB",
+                   "bitwise = serial?"});
+    TextTable times({"benchmark", "serial (s)", "capture (s)",
+                     "store run (s)", "x vs serial"});
+
+    // Host-independent stored plan (the golden "file KB" column
+    // depends on the checkpoint count).
+    const std::size_t shards = 8;
+
+    double sumSerial = 0.0, sumCapture = 0.0, sumStore = 0.0;
+    std::size_t misses = 0;
+    for (const auto &spec : suite) {
+        std::uint64_t length;
+        {
+            core::SimSession probe(spec, config);
+            length =
+                probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+        }
+
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming = recommendedW(config);
+        sc.warming = core::WarmingMode::Functional;
+        sc.interval = core::SamplingConfig::chooseInterval(
+            length, sc.unitSize, length / sc.unitSize / 4);
+
+        auto factory = [&spec, &config] {
+            return std::make_unique<core::SimSession>(spec, config);
+        };
+
+        // Serial baseline.
+        core::SmartsEstimate serial;
+        double serialS;
+        {
+            core::SimSession s(spec, config);
+            const Stopwatch t;
+            serial = core::SystematicSampler(sc).run(s);
+            serialS = t.seconds();
+        }
+
+        // Populate the store on a miss — this is the one-time cost
+        // the warm invocation never pays again. A miss is "nothing
+        // LOADS" (tryLoad), not "no file": a stale or corrupt file
+        // must land in the capture column, not masquerade as warm.
+        const core::LibraryKey key =
+            core::LibraryKey::of(spec, config, sc);
+        double captureS = 0.0;
+        if (!store.tryLoad(key).has_value()) {
+            ++misses;
+            const auto plan = core::CheckpointLibrary::planShards(
+                sc, length, shards);
+            core::SimSession s(spec, config);
+            const Stopwatch t;
+            const auto library =
+                core::CheckpointLibrary::build(s, sc, plan);
+            std::string error;
+            if (!store.save(key, library, &error))
+                SMARTS_FATAL("cannot persist library: ", error);
+            captureS = t.seconds();
+        }
+
+        // The timed run always hits the store now: shards resume
+        // from persisted warm state, no capture in the timed path.
+        core::SmartsEstimate est;
+        double storeS;
+        {
+            const Stopwatch t;
+            est = core::SystematicSampler(sc).runSharded(
+                factory, spec, config, length, shards, pool, store);
+            storeS = t.seconds();
+        }
+
+        sumSerial += serialS;
+        sumCapture += captureS;
+        sumStore += storeS;
+
+        std::error_code ec;
+        const auto fileBytes = std::filesystem::file_size(
+            store.pathFor(key), ec);
+        det.row()
+            .add(spec.name)
+            .add(est.units())
+            .add(est.cpi(), 4)
+            .add(std::uint64_t(ec ? 0 : fileBytes / 1024))
+            .add(fingerprintEstimate(est) ==
+                         fingerprintEstimate(serial)
+                     ? "yes"
+                     : "NO");
+        times.row()
+            .add(spec.name)
+            .add(serialS, 2)
+            .add(captureS, 2)
+            .add(storeS, 2)
+            .add(serialS / storeS, 2);
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+
+    if (opt.section == "persist")
+        emit(det, opt); // golden-pinned deterministic columns.
+    else
+        std::printf("%s\n", det.toString().c_str());
+    std::printf("%s\n", times.toString().c_str());
+
+    std::printf(
+        "%s: capture cost this run %.2fs (%zu/%zu libraries "
+        "captured)\n"
+        "store-backed runs %.2fs vs serial %.2fs on %u thread(s) — "
+        "rerun this section with the same --store and the capture "
+        "column is all zeros: the second run of a design study pays "
+        "no functional-warming bill at all\n\n",
+        misses ? "COLD store" : "WARM store (every library loaded)",
+        sumCapture, misses, suite.size(), sumStore, sumSerial,
+        pool.threadCount());
+
+    // Multi-config capture: ONE MultiSession streaming pass produces
+    // the per-config libraries of a design study — the capture cost
+    // of N configs collapses toward that of one.
+    {
+        const auto &spec = suite.front();
+        const auto cfg16 = uarch::MachineConfig::sixteenWay();
+        std::uint64_t length;
+        {
+            core::SimSession probe(spec, config);
+            length =
+                probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+        }
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming =
+            std::max(recommendedW(config), recommendedW(cfg16));
+        sc.warming = core::WarmingMode::Functional;
+        sc.interval = core::SamplingConfig::chooseInterval(
+            length, sc.unitSize, length / sc.unitSize / 4);
+
+        Stopwatch t;
+        const std::size_t captured = store.ensure(
+            spec, {config, cfg16}, sc, length, shards);
+        const double multiS = t.seconds();
+        std::printf(
+            "multi-config capture (%s, 8-way + 16-way): %zu "
+            "libraries captured in one %.2fs streaming pass%s\n",
+            spec.name.c_str(), captured, multiS,
+            captured ? "" : " (already stored: 0-cost hit)");
+
+        // Geometry-keyed reuse: a latency-only variant of the 8-way
+        // machine hashes to the same warm-state geometry, so it
+        // reuses the 8-way library without any capture.
+        auto latVariant = config;
+        latVariant.name = "8-way-slow-mem";
+        latVariant.mem.memLatency = 200;
+        const std::size_t extra = store.ensure(
+            spec, {latVariant}, sc, length, shards);
+        std::printf(
+            "latency-only variant (mem 80 -> 200 cycles) reused the "
+            "8-way library: %s (warm state never depends on timing "
+            "parameters)\n",
+            extra == 0 ? "yes" : "NO — geometry hash bug");
+    }
+    std::fflush(stdout);
+}
+
 void
 designStudySection(const BenchOptions &opt)
 {
@@ -430,9 +642,16 @@ main(int argc, char **argv)
         shardedSection(opt);
         return 0;
     }
+    if (opt.section == "persist") {
+        banner("Table 6 (persist section): persistent checkpoint "
+               "store",
+               opt);
+        persistSection(opt);
+        return 0;
+    }
     if (!opt.section.empty())
         SMARTS_FATAL("unknown --section '", opt.section,
-                     "' (supported: sharded)");
+                     "' (supported: sharded, persist)");
 
     banner("Table 6: runtimes — detailed vs functional vs SMARTS "
            "(8-way)",
@@ -541,5 +760,7 @@ main(int argc, char **argv)
     designStudySection(opt);
     std::printf("\n");
     shardedSection(opt);
+    std::printf("\n");
+    persistSection(opt);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sisa/encoding.hh"
+#include "util/binary_io.hh"
 #include "util/logging.hh"
 
 namespace smarts::bpred {
@@ -51,6 +52,31 @@ struct BranchUnitState
                (btbTags.size() + btbTargets.size() + ras.size()) *
                    sizeof(std::uint32_t) +
                2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.vecU8(counters);
+        out.vecU32(btbTags);
+        out.vecU32(btbTargets);
+        out.vecU32(ras);
+        out.u32(history);
+        out.u32(rasTop);
+        out.u64(lookups);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        counters = in.vecU8();
+        btbTags = in.vecU32();
+        btbTargets = in.vecU32();
+        ras = in.vecU32();
+        history = in.u32();
+        rasTop = in.u32();
+        lookups = in.u64();
     }
 };
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sisa/encoding.hh"
+#include "util/binary_io.hh"
 #include "util/logging.hh"
 #include "workloads/program.hh"
 
@@ -50,6 +51,29 @@ struct ArchState
     {
         return sizeof(regs) + sizeof(pc) + sizeof(finished) +
                sizeof(instCount) + data.size() * sizeof(std::uint32_t);
+    }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        for (const std::uint32_t r : regs)
+            out.u32(r);
+        out.u32(pc);
+        out.u8(finished ? 1 : 0);
+        out.u64(instCount);
+        out.vecU32(data);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        for (std::uint32_t &r : regs)
+            r = in.u32();
+        pc = in.u32();
+        finished = in.u8() != 0;
+        instCount = in.u64();
+        data = in.vecU32();
     }
 };
 

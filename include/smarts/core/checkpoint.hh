@@ -22,10 +22,18 @@
  * stream, far less than the serial run's warming + detailed bill,
  * and it pipelines: shard s starts executing the moment checkpoint
  * s is captured, while the capture pass streams on toward
- * checkpoint s+1. The library is also the seed of every future
- * scaling step named in ROADMAP.md — pipelined warming/detail
- * overlap, distributed runners, checkpoint reuse across design
- * studies.
+ * checkpoint s+1.
+ *
+ * Libraries are durable: save()/load() move them through a
+ * versioned, endian-explicit, checksummed binary format
+ * (docs/checkpoint-format.md) keyed by LibraryKey — benchmark,
+ * sampling design, and the warm-state geometry hash of the machine
+ * config — so a library captured once serves every later process:
+ * the two-pass procedure's second run, repeated design studies, and
+ * distributed runners. buildMulti() captures the per-config
+ * libraries of an N-config study in ONE MultiSession streaming
+ * pass. CheckpointStore (core/checkpoint_store.hh) is the directory
+ * cache that runSharded/estimateSharded consult before capturing.
  */
 
 #ifndef SMARTS_CORE_CHECKPOINT_HH
@@ -33,12 +41,20 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "core/multi_session.hh"
 #include "core/sampler.hh"
 #include "core/session.hh"
+#include "util/binary_io.hh"
+#include "workloads/benchmark.hh"
 
 namespace smarts::core {
+
+/** On-disk library format version (docs/checkpoint-format.md). */
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
 
 /** Full warm simulator state, resumable into a same-spec session. */
 struct ArchCheckpoint
@@ -59,6 +75,57 @@ struct ArchCheckpoint
         return arch.byteSize() + timing.byteSize() +
                2 * sizeof(std::uint64_t);
     }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.u64(position);
+        out.u64(unitIndex);
+        arch.write(out);
+        timing.write(out);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        position = in.u64();
+        unitIndex = in.u64();
+        arch.read(in);
+        timing.read(in);
+    }
+};
+
+/**
+ * Identity of a persisted checkpoint library: what must match, field
+ * for field, before stored warm state may be resumed. The benchmark
+ * spec pins the instruction stream, the sampling config pins the
+ * capture schedule (which regions were warmed as-detailed vs
+ * fast-forwarded), and the geometry hash
+ * (uarch::warmGeometryHash) pins every structure whose state the
+ * checkpoints carry. Timing-only config differences (latencies,
+ * width, energy) hash identically on purpose: warm state does not
+ * depend on them, so one library serves a whole latency/energy
+ * sweep.
+ */
+struct LibraryKey
+{
+    workloads::BenchmarkSpec benchmark;
+    std::uint64_t geometryHash = 0;
+    SamplingConfig sampling;
+
+    static LibraryKey of(const workloads::BenchmarkSpec &spec,
+                         const uarch::MachineConfig &config,
+                         const SamplingConfig &sampling);
+
+    /** Store subdirectory for the benchmark: "<name>-<scale>". */
+    std::string dirName() const;
+
+    /** Filesystem-safe file name encoding the sampling + geometry. */
+    std::string fileName() const;
+
+    /** Empty when equal; else which component diverges (for logs). */
+    std::string mismatchAgainst(const LibraryKey &other) const;
 };
 
 /** One contiguous slice of a sampling run's measured-unit grid. */
@@ -124,6 +191,70 @@ class CheckpointLibrary
     static CheckpointLibrary build(SimSession &session,
                                    const SamplingConfig &config,
                                    const std::vector<ShardSpec> &plan);
+
+    /**
+     * Multi-config capture: ONE streaming pass over @p session (N
+     * configs in lockstep off the shared architectural stream)
+     * produces the per-config libraries an N-config design study
+     * needs — library c is byte-identical to what build() over a
+     * single-config session of config c would have captured, at
+     * roughly 1/N of the total capture cost. This is what makes
+     * checkpoint reuse work ACROSS configs even though warm state is
+     * config-dependent.
+     */
+    static std::vector<CheckpointLibrary>
+    buildMulti(MultiSession &session, const SamplingConfig &config,
+               const std::vector<ShardSpec> &plan);
+
+    /**
+     * An empty library for (@p config, @p plan) whose checkpoints
+     * arrive later via record() — the pipelined capture path uses
+     * this to collect a persistable library while shards already
+     * execute.
+     */
+    static CheckpointLibrary prepare(const SamplingConfig &config,
+                                     const std::vector<ShardSpec> &plan);
+
+    /** Store shard @p shard's captured checkpoint (copied). */
+    void
+    record(std::size_t shard, const ArchCheckpoint &cp)
+    {
+        checkpoints_[shard] = cp;
+    }
+
+    /** True when every resume slot (shard >= 1) holds a checkpoint. */
+    bool
+    complete() const
+    {
+        for (std::size_t s = 1; s < checkpoints_.size(); ++s)
+            if (checkpoints_[s].arch.data.empty())
+                return false;
+        return !checkpoints_.empty();
+    }
+
+    /**
+     * Serialize under @p key into the versioned on-disk format
+     * (docs/checkpoint-format.md) and publish atomically at @p path.
+     * False with @p error set on filesystem failure.
+     */
+    bool save(const LibraryKey &key, const std::string &path,
+              std::string *error = nullptr) const;
+
+    /**
+     * Load a library from @p path, refusing — nullopt plus a
+     * diagnostic in @p error — on anything short of an exact match:
+     * missing/truncated/corrupt file (checksum), unknown format
+     * version, or a key whose benchmark, sampling design or config
+     * geometry differs from @p expect. Refusal is the contract: a
+     * mis-keyed library must never silently mis-warm a shard.
+     */
+    static std::optional<CheckpointLibrary>
+    load(const std::string &path, const LibraryKey &expect,
+         std::string *error = nullptr);
+
+    /** Serialize to @p out (save() = serialize + checksummed file). */
+    void serialize(const LibraryKey &key,
+                   util::BinaryWriter &out) const;
 
     CheckpointLibrary() = default;
 

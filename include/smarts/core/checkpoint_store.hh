@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CheckpointStore: a directory of persisted checkpoint libraries,
+ * keyed by LibraryKey — benchmark, sampling design, and the machine
+ * config's warm-state geometry hash. The layout is one subdirectory
+ * per (benchmark, scale) holding one `.smck` file per (sampling,
+ * geometry) key:
+ *
+ *   <root>/<benchmark>-<scale>/U<u>_W<w>_k<k>_j<j>_<warm>_g<hash>.smck
+ *
+ * The store is the reuse point the ROADMAP names: a library captured
+ * by one process serves every later one — the two-pass procedure's
+ * second run, repeated design studies, latency/energy sweeps (whose
+ * configs hash to the same geometry), and external runners that
+ * speak the documented format. SystematicSampler::runSharded and
+ * SmartsProcedure::estimateSharded consult the store before
+ * capturing and populate it after a miss, so the second run of any
+ * study pays no capture cost at all.
+ *
+ * Loads verify everything (docs/checkpoint-format.md): checksum,
+ * format version, and the full key. A file that fails any check is
+ * treated as a miss — recapture, never mis-warm.
+ */
+
+#ifndef SMARTS_CORE_CHECKPOINT_STORE_HH
+#define SMARTS_CORE_CHECKPOINT_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hh"
+
+namespace smarts::core {
+
+class CheckpointStore
+{
+  public:
+    /** Open (lazily creating) the store rooted at @p root. */
+    explicit CheckpointStore(std::string root);
+
+    const std::string &
+    root() const
+    {
+        return root_;
+    }
+
+    /** Absolute-or-relative path a key's library lives at. */
+    std::string pathFor(const LibraryKey &key) const;
+
+    /** True when a file exists for @p key (no validation). */
+    bool contains(const LibraryKey &key) const;
+
+    /**
+     * Load and fully validate @p key's library. A missing file is a
+     * silent miss (empty @p error); an existing file that refuses —
+     * corrupt, wrong version, mis-keyed — is a miss with the
+     * diagnostic in @p error.
+     */
+    std::optional<CheckpointLibrary>
+    tryLoad(const LibraryKey &key, std::string *error = nullptr) const;
+
+    /** Persist @p library under @p key (atomic publish). */
+    bool save(const LibraryKey &key, const CheckpointLibrary &library,
+              std::string *error = nullptr) const;
+
+    /**
+     * Make sure a library exists for every config of an N-config
+     * design study, capturing ALL misses in ONE MultiSession
+     * streaming pass (CheckpointLibrary::buildMulti). Configs whose
+     * geometry hashes collide — e.g. a latency-only sweep — share a
+     * key and are captured once. Returns the number of libraries
+     * captured (0 = every config was already stored).
+     */
+    std::size_t ensure(const workloads::BenchmarkSpec &spec,
+                       const std::vector<uarch::MachineConfig> &configs,
+                       const SamplingConfig &sampling,
+                       std::uint64_t streamLength,
+                       std::size_t shards) const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_CHECKPOINT_STORE_HH

@@ -50,6 +50,24 @@ class MultiSession
      */
     MultiSegment detailedRun(std::uint64_t maxInsts);
 
+    /**
+     * Execute up to @p maxInsts applying every config's detailedRun
+     * state transitions (wrong-path pollution included) without the
+     * timing bookkeeping — the multi-config checkpoint capture pass
+     * (CheckpointLibrary::buildMulti): since the architectural
+     * stream is config-independent, one interpretation pass leaves
+     * every config's microarchitectural state bit-identical to what
+     * its own serial capture would have produced.
+     */
+    std::uint64_t warmAsDetailed(std::uint64_t maxInsts);
+
+    /**
+     * Snapshot the shared architectural state and every config's
+     * timing state (resized to configCount()), in config order.
+     */
+    void saveState(ArchState &arch,
+                   std::vector<TimingState> &timings) const;
+
     bool
     finished() const
     {

@@ -98,6 +98,24 @@ class SmartsProcedure
                                     std::size_t shards) const;
 
     /**
+     * Store-backed two-pass procedure: each pass consults @p store
+     * (keyed by @p spec, @p machine's warm-state geometry and the
+     * pass's sampling design) before capturing, and persists what it
+     * captures. Both pass designs are deterministic functions of the
+     * stream and the config, so rerunning the same study hits the
+     * store on every pass — the second process run pays no capture
+     * (functional-warming) cost at all. Estimates stay bit-identical
+     * to estimate()'s.
+     */
+    ProcedureResult estimateSharded(const SessionFactory &factory,
+                                    const workloads::BenchmarkSpec &spec,
+                                    const uarch::MachineConfig &machine,
+                                    std::uint64_t streamLength,
+                                    exec::ThreadPool &pool,
+                                    std::size_t shards,
+                                    CheckpointStore &store) const;
+
+    /**
      * Matched multi-config variant: one functional-warming stream
      * per pass feeds every config. n_tuned is sized from the worst
      * per-config V-hat, so the rerun (when needed) brings every

@@ -30,6 +30,7 @@ class ThreadPool;
 namespace smarts::core {
 
 class CheckpointLibrary;
+class CheckpointStore;
 
 /** Builds a fresh session at stream start (thread-safe, reentrant). */
 using SessionFactory = std::function<std::unique_ptr<SimSession>()>;
@@ -290,7 +291,35 @@ class SystematicSampler
                               const CheckpointLibrary &library,
                               exec::ThreadPool &pool) const;
 
+    /**
+     * Store-backed sharded run: consult @p store for a library keyed
+     * by (@p spec, @p machine's warm-state geometry, this sampler's
+     * design) BEFORE capturing. On a hit, shards resume from the
+     * persisted warm state — the capture pass disappears from the
+     * run entirely. On a miss (including a file that refuses to
+     * load), fall back to the pipelined cold path, collect the
+     * library as it is captured, and persist it for every later run.
+     * Either way the estimate is bit-identical to the serial run()'s
+     * (a hit ignores @p shards and uses the stored plan; any shard
+     * count yields the same bytes).
+     */
+    SmartsEstimate runSharded(const SessionFactory &factory,
+                              const workloads::BenchmarkSpec &spec,
+                              const uarch::MachineConfig &machine,
+                              std::uint64_t streamLength,
+                              std::size_t shards,
+                              exec::ThreadPool &pool,
+                              CheckpointStore &store) const;
+
   private:
+    /** The cold pipelined path; @p collect (optional) receives the
+     *  captured library for persistence. */
+    SmartsEstimate runShardedCold(const SessionFactory &factory,
+                                  std::uint64_t streamLength,
+                                  std::size_t shards,
+                                  exec::ThreadPool &pool,
+                                  CheckpointLibrary *collect) const;
+
     SamplingConfig config_;
 };
 

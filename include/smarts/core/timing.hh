@@ -29,6 +29,7 @@
 #include "core/arch.hh"
 #include "mem/hierarchy.hh"
 #include "uarch/config.hh"
+#include "util/binary_io.hh"
 
 namespace smarts::core {
 
@@ -93,6 +94,37 @@ struct TimingState
         return mem.byteSize() + bpred.byteSize() +
                2 * sizeof(std::uint64_t) + sizeof(std::uint32_t) +
                sizeof(Activity);
+    }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        mem.write(out);
+        bpred.write(out);
+        out.u64(cyclesFx);
+        out.u64(energyFx);
+        out.u32(lastFetchLine);
+        out.u64(activity.branches);
+        out.u64(activity.bpredLookups);
+        out.u64(activity.bpredMispredicts);
+        out.u64(activity.loads);
+        out.u64(activity.stores);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        mem.read(in);
+        bpred.read(in);
+        cyclesFx = in.u64();
+        energyFx = in.u64();
+        lastFetchLine = in.u32();
+        activity.branches = in.u64();
+        activity.bpredLookups = in.u64();
+        activity.bpredMispredicts = in.u64();
+        activity.loads = in.u64();
+        activity.stores = in.u64();
     }
 };
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/binary_io.hh"
 #include "util/logging.hh"
 
 namespace smarts::mem {
@@ -54,6 +55,33 @@ struct CacheState
                lastUse.size() * sizeof(std::uint64_t) +
                mruWay.size() * sizeof(std::uint32_t) +
                4 * sizeof(std::uint64_t);
+    }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.vecU32(tags);
+        out.vecU8(valid);
+        out.vecU64(lastUse);
+        out.vecU32(mruWay);
+        out.u64(tick);
+        out.u64(loads);
+        out.u64(stores);
+        out.u64(misses);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        tags = in.vecU32();
+        valid = in.vecU8();
+        lastUse = in.vecU64();
+        mruWay = in.vecU32();
+        tick = in.u64();
+        loads = in.u64();
+        stores = in.u64();
+        misses = in.u64();
     }
 };
 

@@ -75,6 +75,35 @@ struct TlbState
                valid.size() + 2 * sizeof(std::uint32_t) +
                sizeof(std::uint64_t);
     }
+
+    /** Field order is normative: docs/checkpoint-format.md. */
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.vecU32(pages);
+        out.vecU8(valid);
+        out.vecU32(next);
+        out.vecU32(prev);
+        out.u32(head);
+        out.u32(tail);
+        out.vecU32(keys);
+        out.vecU32(vals);
+        out.u64(misses);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        pages = in.vecU32();
+        valid = in.vecU8();
+        next = in.vecU32();
+        prev = in.vecU32();
+        head = in.u32();
+        tail = in.u32();
+        keys = in.vecU32();
+        vals = in.vecU32();
+        misses = in.u64();
+    }
 };
 
 /**
@@ -291,6 +320,26 @@ struct HierarchyState
     {
         return l1i.byteSize() + l1d.byteSize() + l2.byteSize() +
                itlb.byteSize() + dtlb.byteSize();
+    }
+
+    void
+    write(util::BinaryWriter &out) const
+    {
+        l1i.write(out);
+        l1d.write(out);
+        l2.write(out);
+        itlb.write(out);
+        dtlb.write(out);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        l1i.read(in);
+        l1d.read(in);
+        l2.read(in);
+        itlb.read(in);
+        dtlb.read(in);
     }
 };
 

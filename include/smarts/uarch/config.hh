@@ -15,6 +15,7 @@
 
 #include "bpred/branch_unit.hh"
 #include "mem/hierarchy.hh"
+#include "util/binary_io.hh"
 
 namespace smarts::uarch {
 
@@ -98,6 +99,53 @@ struct MachineConfig
         return c;
     }
 };
+
+/**
+ * FNV-1a fingerprint of the parts of a MachineConfig that shape its
+ * WARM STATE TRAJECTORY: cache/TLB geometries, the branch-unit
+ * tables, and the wrong-path fetch model. Deliberately EXCLUDED are
+ * everything only the timing bookkeeping reads — latencies, stall
+ * factors, width/ROB/pipeline depth, and the energy model — because
+ * warm-state transitions never depend on them: two configs that
+ * differ only in those fields produce bit-identical checkpoints, so
+ * one persisted library serves an entire latency/energy sweep. This
+ * hash is the "config-geometry" component of a checkpoint-library
+ * key (core/checkpoint.hh); loading refuses on mismatch rather than
+ * silently mis-warming.
+ */
+inline std::uint64_t
+warmGeometryHash(const MachineConfig &c)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    // Each field widened to u64 and folded little-endian — the same
+    // FNV-1a the file format's checksum uses (util/binary_io.hh).
+    auto mix = [&h](std::uint64_t v) {
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        h = util::fnv1a(bytes, sizeof bytes, h);
+    };
+    auto mixCache = [&mix](const mem::CacheConfig &cc) {
+        mix(cc.sizeBytes);
+        mix(cc.assoc);
+        mix(cc.lineBytes);
+    };
+    auto mixTlb = [&mix](const mem::TlbConfig &tc) {
+        mix(tc.entries);
+        mix(tc.pageBytes);
+    };
+    mixCache(c.mem.l1i);
+    mixCache(c.mem.l1d);
+    mixCache(c.mem.l2);
+    mixTlb(c.mem.itlb);
+    mixTlb(c.mem.dtlb);
+    mix(c.bpred.historyBits);
+    mix(c.bpred.btbEntries);
+    mix(c.bpred.rasEntries);
+    mix(c.modelWrongPath ? 1 : 0);
+    mix(c.wrongPathFetches);
+    return h;
+}
 
 } // namespace smarts::uarch
 

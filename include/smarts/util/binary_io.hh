@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Binary serialization primitives for the persistent checkpoint
+ * format (docs/checkpoint-format.md): a BinaryWriter that encodes
+ * every multi-byte value LITTLE-ENDIAN byte by byte — so a library
+ * written on any host reads back on any other — and a BinaryReader
+ * that never trusts the file: every read checks the remaining bytes
+ * and flips a sticky fail() flag instead of running past the end,
+ * which is how truncated or corrupt files are refused rather than
+ * mis-parsed.
+ *
+ * Writers accumulate into a memory buffer; writeFile() appends an
+ * FNV-1a checksum of everything before it and publishes the file
+ * atomically (write to a temp name, then rename), so a crashed or
+ * concurrent writer can never leave a half-written library behind a
+ * valid path.
+ */
+
+#ifndef SMARTS_UTIL_BINARY_IO_HH
+#define SMARTS_UTIL_BINARY_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smarts::util {
+
+/** FNV-1a 64-bit over @p size bytes (the format's checksum). */
+inline std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size,
+      std::uint64_t hash = 0xcbf29ce484222325ull)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Accumulates little-endian encoded values into a byte buffer. */
+class BinaryWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buffer_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int shift = 0; shift < 32; shift += 8)
+            buffer_.push_back(
+                static_cast<std::uint8_t>(v >> shift));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int shift = 0; shift < 64; shift += 8)
+            buffer_.push_back(
+                static_cast<std::uint8_t>(v >> shift));
+    }
+
+    /** Length-prefixed (u32) UTF-8/ASCII bytes. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buffer_.insert(buffer_.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed (u64) element vectors. */
+    void
+    vecU8(const std::vector<std::uint8_t> &v)
+    {
+        u64(v.size());
+        buffer_.insert(buffer_.end(), v.begin(), v.end());
+    }
+
+    void
+    vecU32(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        for (const std::uint32_t x : v)
+            u32(x);
+    }
+
+    void
+    vecU64(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (const std::uint64_t x : v)
+            u64(x);
+    }
+
+    const std::vector<std::uint8_t> &
+    buffer() const
+    {
+        return buffer_;
+    }
+
+    std::size_t
+    size() const
+    {
+        return buffer_.size();
+    }
+
+    /**
+     * Append the FNV-1a checksum of the buffer, then publish the
+     * result at @p path atomically (temp file + rename). Returns
+     * false with @p error set on any filesystem failure.
+     */
+    bool writeFile(const std::string &path, std::string *error) const;
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+/**
+ * Decodes a little-endian byte buffer with sticky failure: any read
+ * past the end returns zero values and latches fail(), so callers
+ * can parse a whole structure and check once at the end.
+ */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::vector<std::uint8_t> data)
+        : data_(std::move(data))
+    {
+    }
+
+    /**
+     * Read @p path, verify the trailing FNV-1a checksum, and return
+     * a reader over the payload (checksum stripped). Nullptr-style
+     * failure: ok() is false and @p error says why (missing file,
+     * short file, checksum mismatch = truncation or corruption).
+     */
+    static BinaryReader fromFile(const std::string &path,
+                                 std::string *error);
+
+    std::uint8_t
+    u8()
+    {
+        if (!require(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!require(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!require(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (!require(n))
+            return {};
+        std::string s(data_.begin() + pos_, data_.begin() + pos_ + n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<std::uint8_t>
+    vecU8()
+    {
+        const std::uint64_t n = u64();
+        if (!require(n))
+            return {};
+        std::vector<std::uint8_t> v(data_.begin() + pos_,
+                                    data_.begin() + pos_ + n);
+        pos_ += n;
+        return v;
+    }
+
+    std::vector<std::uint32_t>
+    vecU32()
+    {
+        // Divide, don't multiply: 4 * n wraps for a hostile length
+        // field, and the whole point is refusing such files.
+        const std::uint64_t n = u64();
+        if (failed_ || n > (data_.size() - pos_) / 4) {
+            failed_ = true;
+            return {};
+        }
+        std::vector<std::uint32_t> v(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = u32();
+        return v;
+    }
+
+    std::vector<std::uint64_t>
+    vecU64()
+    {
+        const std::uint64_t n = u64();
+        if (failed_ || n > (data_.size() - pos_) / 8) {
+            failed_ = true;
+            return {};
+        }
+        std::vector<std::uint64_t> v(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            v[i] = u64();
+        return v;
+    }
+
+    /** False once any read overran the buffer (truncated payload). */
+    bool
+    failed() const
+    {
+        return failed_;
+    }
+
+    bool
+    ok() const
+    {
+        return !failed_;
+    }
+
+    /** Bytes left unconsumed (a well-formed file ends at zero). */
+    std::size_t
+    remaining() const
+    {
+        return data_.size() - pos_;
+    }
+
+  private:
+    bool
+    require(std::uint64_t bytes)
+    {
+        if (failed_ || bytes > data_.size() - pos_) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::vector<std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace smarts::util
+
+#endif // SMARTS_UTIL_BINARY_IO_HH

@@ -1,10 +1,230 @@
 #include "core/checkpoint.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "uarch/config.hh"
 #include "util/logging.hh"
 
 namespace smarts::core {
+
+namespace {
+
+/** File magic: 8 bytes, version-independent. */
+constexpr char kMagic[8] = {'S', 'M', 'R', 'T',
+                            'C', 'K', 'P', 'T'};
+
+/**
+ * Endianness probe: written as a u32 through the little-endian
+ * encoder, so the file always carries bytes 04 03 02 01. An external
+ * reader that decodes it as anything but 0x01020304 is applying the
+ * wrong byte order.
+ */
+constexpr std::uint32_t kEndianMark = 0x01020304u;
+
+const char *
+warmingName(WarmingMode mode)
+{
+    switch (mode) {
+      case WarmingMode::None: return "none";
+      case WarmingMode::CachesOnly: return "cache";
+      case WarmingMode::BpredOnly: return "bpred";
+      case WarmingMode::Functional: return "func";
+    }
+    return "?";
+}
+
+/**
+ * The serial sampling schedule with state-equivalent warming, shared
+ * by every capture flavor: fastForward over the inter-unit gaps
+ * (identical to the serial run), warmAsDetailed over the
+ * detailed-warming and measured windows (identical state
+ * transitions, no timing). @p snap(shard) fires at each shard
+ * boundary — an iteration start, where the session state is
+ * bit-identical to the serial run's. Works for SimSession (one
+ * config) and MultiSession (N configs in lockstep): both expose the
+ * same stepping surface, and the architectural stream driving the
+ * schedule is config-independent.
+ */
+template <typename Session, typename Snap>
+void
+captureSchedule(Session &session, const SamplingConfig &config,
+                const std::vector<ShardSpec> &plan, Snap &&snap)
+{
+    if (plan.size() <= 1)
+        return;
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t w = config.detailedWarming;
+    const std::uint64_t k = config.interval;
+    if (!u || !k)
+        SMARTS_FATAL("capture needs nonzero unit size and interval");
+
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
+    std::size_t next = 1;
+
+    while (next < plan.size()) {
+        if (unitIdx >= plan[next].firstUnitIndex) {
+            // The grid index can cross a boundary the STREAM never
+            // reached (it ended mid-unit on a mis-stated length);
+            // snapping there would persist a checkpoint load() must
+            // forever refuse. Unreachable boundary = stop.
+            if (session.instCount() < plan[next].resumePos)
+                break;
+            snap(next);
+            ++next;
+            continue;
+        }
+        // Stream shorter than planned (mis-stated length): the
+        // remaining checkpoints are unreachable.
+        if (session.finished() || unitIdx > ~0ull / u)
+            break;
+
+        const std::uint64_t unitStart = unitIdx * u;
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config.warming);
+            if (session.finished())
+                continue;
+        }
+        if (unitStart > pos)
+            pos += session.warmAsDetailed(unitStart - pos);
+        pos += session.warmAsDetailed(u);
+        unitIdx += k;
+    }
+}
+
+/**
+ * The stream ending before every boundary means the plan's
+ * streamLength was overstated; fail with a clear message rather
+ * than mid-pool when a shard restores an empty snapshot.
+ */
+void
+requireComplete(const CheckpointLibrary &library,
+                const std::vector<ShardSpec> &plan)
+{
+    for (std::size_t s = 1; s < plan.size(); ++s)
+        if (library.at(s).arch.data.empty())
+            SMARTS_FATAL("stream ended before the checkpoint for "
+                         "shard ", s, " (position ",
+                         plan[s].resumePos,
+                         ") — was streamLength overstated?");
+}
+
+void
+writeKey(const LibraryKey &key, util::BinaryWriter &out)
+{
+    out.str(key.benchmark.name);
+    out.u32(static_cast<std::uint32_t>(key.benchmark.kernel));
+    out.u32(key.benchmark.variant);
+    out.u64(key.benchmark.seed);
+    out.u32(static_cast<std::uint32_t>(key.benchmark.scale));
+    out.u64(key.geometryHash);
+    out.u64(key.sampling.unitSize);
+    out.u64(key.sampling.detailedWarming);
+    out.u64(key.sampling.interval);
+    out.u64(key.sampling.offset);
+    out.u32(static_cast<std::uint32_t>(key.sampling.warming));
+}
+
+LibraryKey
+readKey(util::BinaryReader &in)
+{
+    LibraryKey key;
+    key.benchmark.name = in.str();
+    key.benchmark.kernel =
+        static_cast<workloads::Kernel>(in.u32());
+    key.benchmark.variant = in.u32();
+    key.benchmark.seed = in.u64();
+    key.benchmark.scale = static_cast<workloads::Scale>(in.u32());
+    key.geometryHash = in.u64();
+    key.sampling.unitSize = in.u64();
+    key.sampling.detailedWarming = in.u64();
+    key.sampling.interval = in.u64();
+    key.sampling.offset = in.u64();
+    key.sampling.warming = static_cast<WarmingMode>(in.u32());
+    return key;
+}
+
+const char *
+scaleName(workloads::Scale scale)
+{
+    switch (scale) {
+      case workloads::Scale::Mini: return "mini";
+      case workloads::Scale::Small: return "small";
+      case workloads::Scale::Large: return "large";
+    }
+    return "?";
+}
+
+} // namespace
+
+LibraryKey
+LibraryKey::of(const workloads::BenchmarkSpec &spec,
+               const uarch::MachineConfig &config,
+               const SamplingConfig &sampling)
+{
+    LibraryKey key;
+    key.benchmark = spec;
+    key.geometryHash = uarch::warmGeometryHash(config);
+    key.sampling = sampling;
+    return key;
+}
+
+std::string
+LibraryKey::dirName() const
+{
+    return log::format(benchmark.name, "-",
+                       scaleName(benchmark.scale));
+}
+
+std::string
+LibraryKey::fileName() const
+{
+    char hash[17];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(geometryHash));
+    return log::format("U", sampling.unitSize, "_W",
+                       sampling.detailedWarming, "_k",
+                       sampling.interval, "_j", sampling.offset, "_",
+                       warmingName(sampling.warming), "_g", hash,
+                       ".smck");
+}
+
+std::string
+LibraryKey::mismatchAgainst(const LibraryKey &other) const
+{
+    if (benchmark.name != other.benchmark.name ||
+        benchmark.kernel != other.benchmark.kernel ||
+        benchmark.variant != other.benchmark.variant ||
+        benchmark.seed != other.benchmark.seed ||
+        benchmark.scale != other.benchmark.scale)
+        return log::format("benchmark mismatch (file: ",
+                           other.benchmark.name, "-",
+                           scaleName(other.benchmark.scale),
+                           ", expected: ", benchmark.name, "-",
+                           scaleName(benchmark.scale), ")");
+    if (sampling.unitSize != other.sampling.unitSize ||
+        sampling.detailedWarming != other.sampling.detailedWarming ||
+        sampling.interval != other.sampling.interval ||
+        sampling.offset != other.sampling.offset ||
+        sampling.warming != other.sampling.warming)
+        return log::format(
+            "sampling-design mismatch (file: U",
+            other.sampling.unitSize, "/W",
+            other.sampling.detailedWarming, "/k",
+            other.sampling.interval, "/j", other.sampling.offset,
+            ", expected: U", sampling.unitSize, "/W",
+            sampling.detailedWarming, "/k", sampling.interval, "/j",
+            sampling.offset, ")");
+    if (geometryHash != other.geometryHash)
+        return "config-geometry hash mismatch (the machine's "
+               "caches/TLBs/predictor differ from the capture "
+               "machine's)";
+    return {};
+}
 
 std::vector<ShardSpec>
 CheckpointLibrary::planShards(const SamplingConfig &config,
@@ -51,53 +271,24 @@ CheckpointLibrary::capture(SimSession &session,
                            const std::vector<ShardSpec> &plan,
                            const CheckpointSink &sink)
 {
-    if (plan.size() <= 1)
-        return;
-    const std::uint64_t u = config.unitSize;
-    const std::uint64_t w = config.detailedWarming;
-    const std::uint64_t k = config.interval;
-    if (!u || !k)
-        SMARTS_FATAL("capture needs nonzero unit size and interval");
+    captureSchedule(session, config, plan, [&](std::size_t s) {
+        ArchCheckpoint cp;
+        session.saveState(cp.arch, cp.timing);
+        cp.position = session.instCount();
+        cp.unitIndex = plan[s].firstUnitIndex;
+        sink(s, std::move(cp));
+    });
+}
 
-    std::uint64_t pos = session.instCount();
-    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
-    std::size_t next = 1;
-
-    // Mirror the serial sampling schedule with state-equivalent
-    // warming: fastForward over the inter-unit gaps (identical to
-    // the serial run), warmAsDetailed over the detailed-warming and
-    // measured windows (identical state transitions, no timing).
-    // At each shard boundary — an iteration start — the session
-    // state is bit-identical to the serial run's, so snapshot it.
-    while (next < plan.size()) {
-        if (unitIdx >= plan[next].firstUnitIndex) {
-            ArchCheckpoint cp;
-            session.saveState(cp.arch, cp.timing);
-            cp.position = session.instCount();
-            cp.unitIndex = plan[next].firstUnitIndex;
-            sink(next, std::move(cp));
-            ++next;
-            continue;
-        }
-        // Stream shorter than planned (mis-stated length): the
-        // remaining checkpoints are unreachable.
-        if (session.finished() || unitIdx > ~0ull / u)
-            break;
-
-        const std::uint64_t unitStart = unitIdx * u;
-        const std::uint64_t warmStart =
-            unitStart > w ? unitStart - w : 0;
-        if (warmStart > pos) {
-            pos += session.fastForward(warmStart - pos,
-                                       config.warming);
-            if (session.finished())
-                continue;
-        }
-        if (unitStart > pos)
-            pos += session.warmAsDetailed(unitStart - pos);
-        pos += session.warmAsDetailed(u);
-        unitIdx += k;
-    }
+CheckpointLibrary
+CheckpointLibrary::prepare(const SamplingConfig &config,
+                           const std::vector<ShardSpec> &plan)
+{
+    CheckpointLibrary library;
+    library.config_ = config;
+    library.plan_ = plan;
+    library.checkpoints_.resize(plan.size());
+    return library;
 }
 
 CheckpointLibrary
@@ -105,23 +296,184 @@ CheckpointLibrary::build(SimSession &session,
                          const SamplingConfig &config,
                          const std::vector<ShardSpec> &plan)
 {
-    CheckpointLibrary library;
-    library.config_ = config;
-    library.plan_ = plan;
-    library.checkpoints_.resize(plan.size());
+    CheckpointLibrary library = prepare(config, plan);
     capture(session, config, plan,
             [&library](std::size_t s, ArchCheckpoint &&cp) {
                 library.checkpoints_[s] = std::move(cp);
             });
-    // The stream ending before every boundary means the plan's
-    // streamLength was overstated; fail here with a clear message
-    // rather than mid-pool when a shard restores an empty snapshot.
-    for (std::size_t s = 1; s < plan.size(); ++s)
-        if (library.checkpoints_[s].arch.data.empty())
-            SMARTS_FATAL("stream ended before the checkpoint for "
-                         "shard ", s, " (position ",
-                         plan[s].resumePos,
-                         ") — was streamLength overstated?");
+    requireComplete(library, plan);
+    return library;
+}
+
+std::vector<CheckpointLibrary>
+CheckpointLibrary::buildMulti(MultiSession &session,
+                              const SamplingConfig &config,
+                              const std::vector<ShardSpec> &plan)
+{
+    std::vector<CheckpointLibrary> libraries(
+        session.configCount(), prepare(config, plan));
+
+    ArchState arch;
+    std::vector<TimingState> timings;
+    captureSchedule(session, config, plan, [&](std::size_t s) {
+        // One architectural snapshot, one timing snapshot per
+        // config: library c gets exactly the checkpoint a
+        // single-config capture of config c would have taken here.
+        session.saveState(arch, timings);
+        for (std::size_t c = 0; c < libraries.size(); ++c) {
+            ArchCheckpoint cp;
+            cp.arch = arch;
+            cp.timing = std::move(timings[c]);
+            cp.position = session.instCount();
+            cp.unitIndex = plan[s].firstUnitIndex;
+            libraries[c].checkpoints_[s] = std::move(cp);
+        }
+    });
+    for (const CheckpointLibrary &library : libraries)
+        requireComplete(library, plan);
+    return libraries;
+}
+
+void
+CheckpointLibrary::serialize(const LibraryKey &key,
+                             util::BinaryWriter &out) const
+{
+    for (const char c : kMagic)
+        out.u8(static_cast<std::uint8_t>(c));
+    out.u32(kCheckpointFormatVersion);
+    out.u32(kEndianMark);
+    writeKey(key, out);
+
+    out.u64(plan_.size());
+    for (const ShardSpec &shard : plan_) {
+        out.u64(shard.firstUnitIndex);
+        out.u64(shard.unitCount);
+        out.u64(shard.resumePos);
+        out.u8(shard.runsTail ? 1 : 0);
+    }
+    out.u64(checkpoints_.size());
+    for (std::size_t s = 0; s < checkpoints_.size(); ++s) {
+        // Slot 0 (and every tail shard of a one-shard plan) resumes
+        // at stream start and carries no state.
+        const bool present = s > 0;
+        out.u8(present ? 1 : 0);
+        if (present)
+            checkpoints_[s].write(out);
+    }
+}
+
+bool
+CheckpointLibrary::save(const LibraryKey &key, const std::string &path,
+                        std::string *error) const
+{
+    util::BinaryWriter out;
+    serialize(key, out);
+    return out.writeFile(path, error);
+}
+
+std::optional<CheckpointLibrary>
+CheckpointLibrary::load(const std::string &path,
+                        const LibraryKey &expect, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    std::string ioError;
+    util::BinaryReader in =
+        util::BinaryReader::fromFile(path, &ioError);
+    if (in.failed())
+        return refuse(std::move(ioError));
+
+    for (const char c : kMagic)
+        if (in.u8() != static_cast<std::uint8_t>(c))
+            return refuse(log::format(
+                path, " is not a smarts checkpoint library"));
+    const std::uint32_t version = in.u32();
+    if (version != kCheckpointFormatVersion)
+        return refuse(log::format(
+            path, " is format version ", version,
+            "; this build reads version ", kCheckpointFormatVersion));
+    if (in.u32() != kEndianMark)
+        return refuse(log::format(path,
+                                  " has a bad endianness marker"));
+
+    const LibraryKey stored = readKey(in);
+    const std::string mismatch = expect.mismatchAgainst(stored);
+    if (!mismatch.empty())
+        return refuse(log::format(path, ": ", mismatch));
+
+    CheckpointLibrary library;
+    library.config_ = stored.sampling;
+    const std::uint64_t shardCount = in.u64();
+    // An absurd count means a corrupt length field the checksum
+    // somehow missed; bound it by what the payload could hold.
+    if (shardCount > in.remaining())
+        return refuse(log::format(path, " is corrupt (shard count ",
+                                  shardCount, ")"));
+    library.plan_.resize(shardCount);
+    for (ShardSpec &shard : library.plan_) {
+        shard.firstUnitIndex = in.u64();
+        shard.unitCount = in.u64();
+        shard.resumePos = in.u64();
+        shard.runsTail = in.u8() != 0;
+    }
+    // The plan must be one planShards could have produced — the
+    // checksum only proves the writer was careful, not honest, and
+    // executing a malformed plan (overlapping shards, misplaced
+    // tail) would MIS-MEASURE instead of refusing.
+    {
+        const SamplingConfig &sc = stored.sampling;
+        std::uint64_t expectIdx = sc.offset;
+        for (std::size_t s = 0; s < shardCount; ++s) {
+            const ShardSpec &shard = library.plan_[s];
+            const bool contiguous =
+                shard.firstUnitIndex == expectIdx &&
+                shard.firstUnitIndex <= ~0ull / sc.unitSize &&
+                shard.runsTail == (s + 1 == shardCount) &&
+                (s == 0 ||
+                 (shard.unitCount >= 1 &&
+                  shard.resumePos ==
+                      (shard.firstUnitIndex - sc.interval) *
+                              sc.unitSize +
+                          sc.unitSize)) &&
+                (s > 0 || shard.resumePos == 0);
+            if (!contiguous)
+                return refuse(log::format(
+                    path, " is corrupt (shard ", s,
+                    " breaks the contiguous plan geometry)"));
+            expectIdx =
+                shard.firstUnitIndex + shard.unitCount * sc.interval;
+        }
+    }
+    const std::uint64_t cpCount = in.u64();
+    if (cpCount != shardCount)
+        return refuse(log::format(
+            path, " is corrupt (", cpCount, " checkpoints for ",
+            shardCount, " shards)"));
+    library.checkpoints_.resize(shardCount);
+    for (std::size_t s = 0; s < shardCount; ++s) {
+        const bool present = in.u8() != 0;
+        if (present == (s == 0))
+            return refuse(log::format(
+                path, " is corrupt (checkpoint ", s,
+                present ? " unexpectedly present" : " missing"));
+        if (present)
+            library.checkpoints_[s].read(in);
+    }
+    if (in.failed() || in.remaining() != 0)
+        return refuse(log::format(
+            path, " is truncated or has trailing garbage"));
+    for (std::size_t s = 1; s < shardCount; ++s)
+        if (library.checkpoints_[s].position !=
+                library.plan_[s].resumePos ||
+            library.checkpoints_[s].unitIndex !=
+                library.plan_[s].firstUnitIndex)
+            return refuse(log::format(
+                path, " is corrupt (checkpoint ", s,
+                " disagrees with its shard plan)"));
     return library;
 }
 

@@ -1,0 +1,113 @@
+#include "core/checkpoint_store.hh"
+
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+namespace fs = std::filesystem;
+
+CheckpointStore::CheckpointStore(std::string root)
+    : root_(std::move(root))
+{
+    if (root_.empty())
+        SMARTS_FATAL("checkpoint store needs a root directory");
+}
+
+std::string
+CheckpointStore::pathFor(const LibraryKey &key) const
+{
+    return (fs::path(root_) / key.dirName() / key.fileName())
+        .string();
+}
+
+bool
+CheckpointStore::contains(const LibraryKey &key) const
+{
+    std::error_code ec;
+    return fs::exists(pathFor(key), ec);
+}
+
+std::optional<CheckpointLibrary>
+CheckpointStore::tryLoad(const LibraryKey &key,
+                         std::string *error) const
+{
+    if (error)
+        error->clear();
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt; // plain miss, no diagnostic.
+    return CheckpointLibrary::load(path, key, error);
+}
+
+bool
+CheckpointStore::save(const LibraryKey &key,
+                      const CheckpointLibrary &library,
+                      std::string *error) const
+{
+    if (!library.complete()) {
+        if (error)
+            *error = "library is incomplete (capture ended before "
+                     "every shard boundary)";
+        return false;
+    }
+    return library.save(key, pathFor(key), error);
+}
+
+std::size_t
+CheckpointStore::ensure(
+    const workloads::BenchmarkSpec &spec,
+    const std::vector<uarch::MachineConfig> &configs,
+    const SamplingConfig &sampling, std::uint64_t streamLength,
+    std::size_t shards) const
+{
+    // Collect the configs whose key is missing, deduplicating
+    // geometry-equal configs (their warm state is identical, so one
+    // captured library serves them all). "Present" means a library
+    // that actually LOADS — a file that exists but refuses (stale
+    // version, corruption) is a miss to recapture, or ensure()
+    // would report configs as stored that nothing can resume.
+    std::vector<const uarch::MachineConfig *> missing;
+    std::vector<LibraryKey> missingKeys;
+    for (const uarch::MachineConfig &config : configs) {
+        const LibraryKey key = LibraryKey::of(spec, config, sampling);
+        std::string error;
+        if (tryLoad(key, &error).has_value())
+            continue;
+        if (!error.empty())
+            SMARTS_LOG("checkpoint store: recapturing (", error,
+                       ")");
+        bool duplicate = false;
+        for (const LibraryKey &seen : missingKeys)
+            duplicate |= seen.geometryHash == key.geometryHash;
+        if (duplicate)
+            continue;
+        missing.push_back(&config);
+        missingKeys.push_back(key);
+    }
+    if (missing.empty())
+        return 0;
+
+    std::vector<uarch::MachineConfig> captureConfigs;
+    captureConfigs.reserve(missing.size());
+    for (const uarch::MachineConfig *config : missing)
+        captureConfigs.push_back(*config);
+
+    const std::vector<ShardSpec> plan =
+        CheckpointLibrary::planShards(sampling, streamLength, shards);
+    MultiSession session(spec, captureConfigs);
+    const std::vector<CheckpointLibrary> libraries =
+        CheckpointLibrary::buildMulti(session, sampling, plan);
+
+    for (std::size_t i = 0; i < libraries.size(); ++i) {
+        std::string error;
+        if (!save(missingKeys[i], libraries[i], &error))
+            SMARTS_FATAL("checkpoint store: cannot save ",
+                         pathFor(missingKeys[i]), ": ", error);
+    }
+    return libraries.size();
+}
+
+} // namespace smarts::core

@@ -34,6 +34,31 @@ MultiSession::fastForward(std::uint64_t maxInsts, WarmingMode mode)
     return executed;
 }
 
+std::uint64_t
+MultiSession::warmAsDetailed(std::uint64_t maxInsts)
+{
+    std::uint64_t executed = 0;
+    StepInfo info;
+    while (executed < maxInsts) {
+        if (!arch_.step(info))
+            break;
+        ++executed;
+        for (TimingModel &model : models_)
+            model.warmDetailed(info);
+    }
+    return executed;
+}
+
+void
+MultiSession::saveState(ArchState &arch,
+                        std::vector<TimingState> &timings) const
+{
+    arch_.saveState(arch);
+    timings.resize(models_.size());
+    for (std::size_t i = 0; i < models_.size(); ++i)
+        models_[i].saveState(timings[i]);
+}
+
 MultiSegment
 MultiSession::detailedRun(std::uint64_t maxInsts)
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint_store.hh"
 #include "util/logging.hh"
 
 namespace smarts::core {
@@ -15,16 +16,30 @@ SmartsProcedure::SmartsProcedure(const ProcedureConfig &config)
 
 namespace {
 
-/** One sampling pass: serial, or checkpoint-sharded on a pool. */
+/** What a sharded pass runs on: the pool, and (optionally) the
+ *  persistent store plus the identity that keys it. */
+struct ShardedContext
+{
+    exec::ThreadPool *pool = nullptr;
+    std::size_t shards = 0;
+    CheckpointStore *store = nullptr;
+    const workloads::BenchmarkSpec *spec = nullptr;
+    const uarch::MachineConfig *machine = nullptr;
+};
+
+/** One sampling pass: serial, checkpoint-sharded, or store-backed. */
 core::SmartsEstimate
 runPass(const SamplingConfig &sc,
         const SmartsProcedure::SessionFactory &factory,
-        std::uint64_t streamLength, exec::ThreadPool *pool,
-        std::size_t shards)
+        std::uint64_t streamLength, const ShardedContext &ctx)
 {
-    if (pool)
+    if (ctx.pool && ctx.store)
+        return SystematicSampler(sc).runSharded(
+            factory, *ctx.spec, *ctx.machine, streamLength,
+            ctx.shards, *ctx.pool, *ctx.store);
+    if (ctx.pool)
         return SystematicSampler(sc).runSharded(factory, streamLength,
-                                                shards, *pool);
+                                                ctx.shards, *ctx.pool);
     auto session = factory();
     return SystematicSampler(sc).run(*session);
 }
@@ -32,8 +47,7 @@ runPass(const SamplingConfig &sc,
 ProcedureResult
 twoPass(const ProcedureConfig &config,
         const SmartsProcedure::SessionFactory &factory,
-        std::uint64_t streamLength, exec::ThreadPool *pool,
-        std::size_t shards)
+        std::uint64_t streamLength, const ShardedContext &ctx)
 {
     SamplingConfig sc;
     sc.unitSize = config.unitSize;
@@ -43,8 +57,7 @@ twoPass(const ProcedureConfig &config,
         streamLength, config.unitSize, config.nInit);
 
     ProcedureResult result;
-    result.initial =
-        runPass(sc, factory, streamLength, pool, shards);
+    result.initial = runPass(sc, factory, streamLength, ctx);
 
     // Size n_tuned from the measured V-hat (Eq. 3); rerun only when
     // the initial confidence interval misses the target.
@@ -63,7 +76,7 @@ twoPass(const ProcedureConfig &config,
     sc.interval = units > result.recommendedN && result.recommendedN
                       ? units / result.recommendedN
                       : 1;
-    result.tuned = runPass(sc, factory, streamLength, pool, shards);
+    result.tuned = runPass(sc, factory, streamLength, ctx);
     return result;
 }
 
@@ -73,7 +86,7 @@ ProcedureResult
 SmartsProcedure::estimate(const SessionFactory &factory,
                           std::uint64_t streamLength) const
 {
-    return twoPass(config_, factory, streamLength, nullptr, 0);
+    return twoPass(config_, factory, streamLength, {});
 }
 
 ProcedureResult
@@ -82,7 +95,28 @@ SmartsProcedure::estimateSharded(const SessionFactory &factory,
                                  exec::ThreadPool &pool,
                                  std::size_t shards) const
 {
-    return twoPass(config_, factory, streamLength, &pool, shards);
+    ShardedContext ctx;
+    ctx.pool = &pool;
+    ctx.shards = shards;
+    return twoPass(config_, factory, streamLength, ctx);
+}
+
+ProcedureResult
+SmartsProcedure::estimateSharded(const SessionFactory &factory,
+                                 const workloads::BenchmarkSpec &spec,
+                                 const uarch::MachineConfig &machine,
+                                 std::uint64_t streamLength,
+                                 exec::ThreadPool &pool,
+                                 std::size_t shards,
+                                 CheckpointStore &store) const
+{
+    ShardedContext ctx;
+    ctx.pool = &pool;
+    ctx.shards = shards;
+    ctx.store = &store;
+    ctx.spec = &spec;
+    ctx.machine = &machine;
+    return twoPass(config_, factory, streamLength, ctx);
 }
 
 MatchedProcedureResult

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/checkpoint.hh"
+#include "core/checkpoint_store.hh"
 #include "exec/thread_pool.hh"
 #include "util/logging.hh"
 
@@ -231,10 +232,23 @@ SystematicSampler::runSharded(const SessionFactory &factory,
                               std::size_t shards,
                               exec::ThreadPool &pool) const
 {
+    return runShardedCold(factory, streamLength, shards, pool,
+                          nullptr);
+}
+
+SmartsEstimate
+SystematicSampler::runShardedCold(const SessionFactory &factory,
+                                  std::uint64_t streamLength,
+                                  std::size_t shards,
+                                  exec::ThreadPool &pool,
+                                  CheckpointLibrary *collect) const
+{
     if (!factory)
         SMARTS_FATAL("runSharded needs a session factory");
     const std::vector<ShardSpec> plan =
         CheckpointLibrary::planShards(config_, streamLength, shards);
+    if (collect)
+        *collect = CheckpointLibrary::prepare(config_, plan);
 
     std::vector<SliceResult> results(plan.size());
     const SamplingConfig config = config_;
@@ -266,7 +280,10 @@ SystematicSampler::runSharded(const SessionFactory &factory,
         std::unique_ptr<SimSession> captureSession = factory();
         CheckpointLibrary::capture(
             *captureSession, config_, plan,
-            [&submitShard](std::size_t s, ArchCheckpoint &&cp) {
+            [&submitShard, collect](std::size_t s,
+                                    ArchCheckpoint &&cp) {
+                if (collect)
+                    collect->record(s, cp);
                 submitShard(s, std::move(cp));
             });
         capturePos = captureSession->instCount();
@@ -281,6 +298,34 @@ SystematicSampler::runSharded(const SessionFactory &factory,
     // capture pass's own progress still bounds what was simulated.
     if (capturePos > est.streamLength)
         est.streamLength = capturePos;
+    return est;
+}
+
+SmartsEstimate
+SystematicSampler::runSharded(const SessionFactory &factory,
+                              const workloads::BenchmarkSpec &spec,
+                              const uarch::MachineConfig &machine,
+                              std::uint64_t streamLength,
+                              std::size_t shards,
+                              exec::ThreadPool &pool,
+                              CheckpointStore &store) const
+{
+    const LibraryKey key = LibraryKey::of(spec, machine, config_);
+    std::string error;
+    if (std::optional<CheckpointLibrary> library =
+            store.tryLoad(key, &error))
+        return runSharded(factory, *library, pool);
+    // A file that exists but refuses to load is a recapture, never a
+    // mis-warm; say why.
+    if (!error.empty())
+        SMARTS_LOG("checkpoint store: recapturing (", error, ")");
+
+    CheckpointLibrary library;
+    const SmartsEstimate est = runShardedCold(
+        factory, streamLength, shards, pool, &library);
+    if (!store.save(key, library, &error))
+        SMARTS_LOG("checkpoint store: could not persist ",
+                   store.pathFor(key), " (", error, ")");
     return est;
 }
 

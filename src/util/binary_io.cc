@@ -1,0 +1,117 @@
+#include "util/binary_io.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace smarts::util {
+
+namespace fs = std::filesystem;
+
+bool
+BinaryWriter::writeFile(const std::string &path,
+                        std::string *error) const
+{
+    const std::uint64_t checksum =
+        fnv1a(buffer_.data(), buffer_.size());
+
+    std::error_code ec;
+    const fs::path target(path);
+    if (target.has_parent_path()) {
+        fs::create_directories(target.parent_path(), ec);
+        if (ec) {
+            if (error)
+                *error = log::format("cannot create directory ",
+                                     target.parent_path().string(),
+                                     ": ", ec.message());
+            return false;
+        }
+    }
+
+    // Write-then-rename so a crash mid-write never leaves a
+    // half-written file behind a valid library path. The temp name
+    // carries the pid and a per-process counter so two processes
+    // (or threads) racing to save the same key each write their own
+    // file; last rename wins with a complete library either way.
+    static std::atomic<unsigned> serial{0};
+    const fs::path tmp(log::format(path, ".tmp.", ::getpid(), ".",
+                                   serial.fetch_add(1)));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = log::format("cannot open ", tmp.string(),
+                                     " for writing");
+            return false;
+        }
+        out.write(reinterpret_cast<const char *>(buffer_.data()),
+                  static_cast<std::streamsize>(buffer_.size()));
+        std::uint8_t trailer[8];
+        for (int i = 0; i < 8; ++i)
+            trailer[i] =
+                static_cast<std::uint8_t>(checksum >> (8 * i));
+        out.write(reinterpret_cast<const char *>(trailer),
+                  sizeof trailer);
+        if (!out) {
+            if (error)
+                *error = log::format("short write to ", tmp.string());
+            out.close();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        if (error)
+            *error = log::format("cannot publish ", path, ": ",
+                                 ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+BinaryReader
+BinaryReader::fromFile(const std::string &path, std::string *error)
+{
+    auto failed = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        BinaryReader reader({});
+        reader.failed_ = true;
+        return reader;
+    };
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return failed(log::format("cannot open ", path));
+    const std::streamoff size = in.tellg();
+    if (size < 8)
+        return failed(log::format(path, " is truncated (", size,
+                                  " bytes, no room for a checksum)"));
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!in)
+        return failed(log::format("short read from ", path));
+
+    const std::size_t payload = bytes.size() - 8;
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i)
+        stored |= static_cast<std::uint64_t>(bytes[payload + i])
+                  << (8 * i);
+    if (fnv1a(bytes.data(), payload) != stored)
+        return failed(log::format(
+            path, " failed its checksum (truncated or corrupt)"));
+
+    bytes.resize(payload);
+    return BinaryReader(std::move(bytes));
+}
+
+} // namespace smarts::util

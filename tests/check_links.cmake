@@ -1,0 +1,66 @@
+# Markdown link checker for the docs tier: every RELATIVE link in
+# README.md, docs/*.md and the other top-level markdown files must
+# point at a file that exists in the repo. Runs as the `docs_links`
+# ctest and as the CI docs job — a doc that names a moved or deleted
+# file fails the build instead of rotting.
+#
+# External links (http/https) and pure anchors (#...) are skipped:
+# this is an offline existence check, not a crawler.
+#
+# Usage: cmake -DROOT=<repo root> -P check_links.cmake
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT ROOT)
+  message(FATAL_ERROR "check_links.cmake needs -DROOT=<repo root>")
+endif()
+
+# Authored docs only: PAPER.md / PAPERS.md / SNIPPETS.md are
+# retrieved source material whose links point at artifacts that were
+# never part of this repo.
+file(GLOB docs_md "${ROOT}/docs/*.md")
+set(md_files "${ROOT}/README.md" "${ROOT}/ROADMAP.md" ${docs_md})
+
+set(broken 0)
+set(checked 0)
+
+foreach(md IN LISTS md_files)
+  file(READ "${md}" contents)
+  get_filename_component(md_dir "${md}" DIRECTORY)
+
+  # Inline links: ](target). Consume the text match by match with a
+  # SUBSTRING loop — MATCHALL would hand back a ;-list whose
+  # bracket/paren-laden elements CMake's list splitting mangles.
+  set(rest "${contents}")
+  while(1)
+    string(REGEX MATCH "\\]\\(([^()]+)\\)" link "${rest}")
+    if(link STREQUAL "")
+      break()
+    endif()
+    set(target "${CMAKE_MATCH_1}")
+    string(FIND "${rest}" "${link}" at)
+    string(LENGTH "${link}" linklen)
+    math(EXPR after "${at} + ${linklen}")
+    string(SUBSTRING "${rest}" ${after} -1 rest)
+
+    # Strip a trailing anchor; skip externals and pure anchors.
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    if(target STREQUAL "" OR target MATCHES "^[a-z]+://" OR
+       target MATCHES "^mailto:")
+      continue()
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS "${md_dir}/${target}")
+      math(EXPR broken "${broken} + 1")
+      message(SEND_ERROR
+        "broken link in ${md}: (${target}) does not exist")
+    endif()
+  endwhile()
+endforeach()
+
+if(broken)
+  message(FATAL_ERROR
+    "${broken} broken markdown link(s) out of ${checked} checked")
+endif()
+message(STATUS
+  "docs links OK: ${checked} relative link(s) all resolve")

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared bit-exact fingerprint of a SmartsEstimate for the
+ * determinism suites (test_checkpoint.cc, test_persist.cc): every
+ * statistical accumulator and instruction counter, doubles compared
+ * by bit pattern. ONE definition on purpose — when SmartsEstimate
+ * grows a field, adding it here tightens every bit-identity
+ * contract at once instead of silently narrowing one suite's.
+ */
+
+#ifndef SMARTS_TESTS_ESTIMATE_FINGERPRINT_HH
+#define SMARTS_TESTS_ESTIMATE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/sampler.hh"
+
+namespace smarts::test {
+
+inline std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/** Every field of the estimate, bit-exact. */
+inline std::vector<std::uint64_t>
+fingerprint(const core::SmartsEstimate &est)
+{
+    return {est.cpiStats.count(),    bitsOf(est.cpiStats.mean()),
+            bitsOf(est.cpiStats.variance()),
+            est.epiStats.count(),    bitsOf(est.epiStats.mean()),
+            bitsOf(est.epiStats.variance()),
+            est.instructionsMeasured, est.instructionsWarmed,
+            est.instructionsDropped, est.streamLength};
+}
+
+} // namespace smarts::test
+
+#endif // SMARTS_TESTS_ESTIMATE_FINGERPRINT_HH

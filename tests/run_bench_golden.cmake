@@ -9,7 +9,13 @@
 #
 # Usage: cmake -DBENCH=<binary> -DCSV=<output csv> -DGOLDEN=<golden csv>
 #              -DDIFF=<csv_diff binary> -DARGS=<;-separated args>
-#              [-DRTOL=<rel tol>] -P run_bench_golden.cmake
+#              [-DRTOL=<rel tol>] [-DCLEAN_DIR=<dir>]
+#              -P run_bench_golden.cmake
+#
+# CLEAN_DIR (optional) is removed before the run: the persist-section
+# pair uses it so the COLD run starts from an empty checkpoint store
+# while the WARM run (no CLEAN_DIR) inherits the store the cold run
+# populated and exercises the load path.
 
 foreach(required BENCH CSV GOLDEN DIFF)
   if(NOT ${required})
@@ -20,6 +26,10 @@ endforeach()
 
 if(NOT RTOL)
   set(RTOL 0.02)
+endif()
+
+if(CLEAN_DIR)
+  file(REMOVE_RECURSE "${CLEAN_DIR}")
 endif()
 
 file(REMOVE "${CSV}")

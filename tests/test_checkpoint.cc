@@ -21,30 +21,13 @@
 #include "workloads/benchmark.hh"
 
 #include "check.hh"
+#include "estimate_fingerprint.hh"
 
 using namespace smarts;
+using smarts::test::bitsOf;
+using smarts::test::fingerprint;
 
 namespace {
-
-std::uint64_t
-bitsOf(double v)
-{
-    std::uint64_t b;
-    std::memcpy(&b, &v, sizeof b);
-    return b;
-}
-
-/** Every field of the estimate, bit-exact. */
-std::vector<std::uint64_t>
-fingerprint(const core::SmartsEstimate &est)
-{
-    return {est.cpiStats.count(),    bitsOf(est.cpiStats.mean()),
-            bitsOf(est.cpiStats.variance()),
-            est.epiStats.count(),    bitsOf(est.epiStats.mean()),
-            bitsOf(est.epiStats.variance()),
-            est.instructionsMeasured, est.instructionsWarmed,
-            est.instructionsDropped, est.streamLength};
-}
 
 void
 testPlanShards()
