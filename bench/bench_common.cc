@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "util/logging.hh"
 
@@ -14,6 +15,7 @@ parseOptions(int argc, char **argv, bool default_quick,
     BenchOptions opt;
     opt.quickSuite = default_quick;
     opt.csvPath = default_csv;
+    opt.argv0 = argc > 0 ? argv[0] : "";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -44,6 +46,8 @@ parseOptions(int argc, char **argv, bool default_quick,
             opt.section = v5;
         } else if (const char *v6 = value("--store=")) {
             opt.storePath = v6;
+        } else if (const char *v7 = value("--runner-bin=")) {
+            opt.runnerBin = v7;
         } else if (arg == "--benchmark_format" ||
                    arg.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark-style flags when invoked by
@@ -52,7 +56,7 @@ parseOptions(int argc, char **argv, bool default_quick,
             SMARTS_FATAL("unknown flag '", arg,
                          "' (supported: --scale=, --suite=, "
                          "--machine=, --csv=, --section=, "
-                         "--store=)");
+                         "--store=, --runner-bin=)");
         }
     }
     return opt;
@@ -67,6 +71,17 @@ machines(const BenchOptions &opt)
     if (opt.runSixteen)
         configs.push_back(uarch::MachineConfig::sixteenWay());
     return configs;
+}
+
+std::string
+runnerBinary(const BenchOptions &opt)
+{
+    if (!opt.runnerBin.empty())
+        return opt.runnerBin;
+    // The build puts bench/ and tools/ side by side.
+    return (std::filesystem::path(opt.argv0).parent_path() /
+            ".." / "tools" / "smarts_runner")
+        .string();
 }
 
 std::uint64_t

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "core/checkpoint_store.hh"
 #include "core/procedure.hh"
 #include "exec/thread_pool.hh"
 
@@ -48,9 +49,17 @@ struct CellResult
     double finalAbsErr = 0.0;
 };
 
+/**
+ * @p store (optional, from --store=) switches the two-pass
+ * procedure to its store-backed sharded overload on @p pool:
+ * bit-identical estimates, but warm state comes from (and is
+ * persisted into) the shipped store instead of being recaptured
+ * per run.
+ */
 CellResult
 runCell(const workloads::BenchmarkSpec &spec,
-        const uarch::MachineConfig &config, workloads::Scale scale)
+        const uarch::MachineConfig &config, workloads::Scale scale,
+        core::CheckpointStore *store, exec::ThreadPool *pool)
 {
     core::ReferenceRunner runner(scale, config);
     const core::ReferenceResult ref = runner.get(spec);
@@ -71,7 +80,10 @@ runCell(const workloads::BenchmarkSpec &spec,
     // Initial run only (the figure's bars); procedure handles the
     // rerun when needed.
     const core::ProcedureResult result =
-        proc.estimate(factory, ref.instructions);
+        store ? proc.estimateSharded(factory, spec, config,
+                                     ref.instructions, *pool, 8,
+                                     *store)
+              : proc.estimate(factory, ref.instructions);
 
     CellResult cell;
     const auto &init = result.initial;
@@ -114,14 +126,30 @@ main(int argc, char **argv)
     // One job per (machine, benchmark) cell, machine-major order.
     std::vector<CellResult> cells(configs.size() * suite.size());
     exec::ThreadPool pool; // one worker per hardware thread.
-    exec::parallelForIndexed(
-        pool, cells.size(), [&](std::size_t i) {
+    if (opt.storePath.empty()) {
+        exec::parallelForIndexed(
+            pool, cells.size(), [&](std::size_t i) {
+                const auto &config = configs[i / suite.size()];
+                const auto &spec = suite[i % suite.size()];
+                cells[i] = runCell(spec, config, opt.scale, nullptr,
+                                   nullptr);
+                std::printf(".");
+                std::fflush(stdout);
+            });
+    } else {
+        // Store-backed: cells run in sequence, each SHARDED across
+        // the pool from persisted warm state (the estimates are
+        // bit-identical to the parallel-cells path either way).
+        core::CheckpointStore store(opt.storePath);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
             const auto &config = configs[i / suite.size()];
             const auto &spec = suite[i % suite.size()];
-            cells[i] = runCell(spec, config, opt.scale);
+            cells[i] = runCell(spec, config, opt.scale, &store,
+                               &pool);
             std::printf(".");
             std::fflush(stdout);
-        });
+        }
+    }
     std::printf("\n");
 
     for (std::size_t m = 0; m < configs.size(); ++m) {

@@ -13,9 +13,12 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "bench_common.hh"
+#include "core/checkpoint_store.hh"
 #include "core/sampler.hh"
+#include "exec/thread_pool.hh"
 
 using namespace smarts;
 using namespace smarts::bench;
@@ -29,6 +32,17 @@ main(int argc, char **argv)
 
     const auto config = uarch::MachineConfig::eightWay();
     core::ReferenceRunner runner(opt.scale, config);
+
+    // --store= runs every estimate store-backed and sharded:
+    // bit-identical to the serial path by contract, but resuming
+    // from persisted warm state — a shipped store makes this bench
+    // capture-free too.
+    std::optional<core::CheckpointStore> store;
+    std::optional<exec::ThreadPool> pool;
+    if (!opt.storePath.empty()) {
+        store.emplace(opt.storePath);
+        pool.emplace();
+    }
 
     TextTable table({"benchmark", "ref EPI (nJ)", "est EPI (nJ)",
                      "actual err", "EPI 99.7% CI", "CPI 99.7% CI",
@@ -47,9 +61,18 @@ main(int argc, char **argv)
             ref.instructions, sc.unitSize,
             std::max<std::uint64_t>(ref.instructions / 1000 / 8, 60));
 
-        core::SimSession session(spec, config);
-        const core::SmartsEstimate est =
-            core::SystematicSampler(sc).run(session);
+        core::SmartsEstimate est;
+        if (store) {
+            est = core::SystematicSampler(sc).runSharded(
+                [&] {
+                    return std::make_unique<core::SimSession>(
+                        spec, config);
+                },
+                spec, config, ref.instructions, 8, *pool, *store);
+        } else {
+            core::SimSession session(spec, config);
+            est = core::SystematicSampler(sc).run(session);
+        }
 
         const double err = (est.epi() - ref.epi) / ref.epi;
         const double epi_ci = est.epiConfidenceInterval(0.997);

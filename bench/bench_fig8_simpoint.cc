@@ -13,9 +13,12 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "bench_common.hh"
+#include "core/checkpoint_store.hh"
 #include "core/sampler.hh"
+#include "exec/thread_pool.hh"
 #include "simpoint/simpoint.hh"
 
 using namespace smarts;
@@ -37,6 +40,16 @@ main(int argc, char **argv)
 
     const auto config = uarch::MachineConfig::eightWay();
     core::ReferenceRunner runner(opt.scale, config);
+
+    // --store= makes the SMARTS half store-backed and sharded
+    // (bit-identical by contract; SimPoint has no warm state to
+    // reuse, so its half is unchanged).
+    std::optional<core::CheckpointStore> store;
+    std::optional<exec::ThreadPool> pool;
+    if (!opt.storePath.empty()) {
+        store.emplace(opt.storePath);
+        pool.emplace();
+    }
 
     TextTable table({"benchmark", "SimPoint err", "SMARTS err",
                      "SMARTS 99.7% CI", "SimPoint insts (M)",
@@ -71,9 +84,15 @@ main(int argc, char **argv)
         sc.interval = core::SamplingConfig::chooseInterval(
             ref.instructions, sc.unitSize,
             std::max<std::uint64_t>(ref.instructions / 1000 / 4, 60));
-        auto session = factory();
-        const core::SmartsEstimate sm =
-            core::SystematicSampler(sc).run(*session);
+        core::SmartsEstimate sm;
+        if (store) {
+            sm = core::SystematicSampler(sc).runSharded(
+                factory, spec, config, ref.instructions, 8, *pool,
+                *store);
+        } else {
+            auto session = factory();
+            sm = core::SystematicSampler(sc).run(*session);
+        }
         const double sm_err = (sm.cpi() - ref.cpi) / ref.cpi;
 
         sp_abs.add(std::abs(sp_err));

@@ -118,6 +118,14 @@ struct LibraryKey
                          const uarch::MachineConfig &config,
                          const SamplingConfig &sampling);
 
+    /**
+     * Field order is normative (docs/checkpoint-format.md § Key);
+     * the distributed job manifest and result files
+     * (docs/distributed-runners.md) embed the same encoding.
+     */
+    void write(util::BinaryWriter &out) const;
+    static LibraryKey read(util::BinaryReader &in);
+
     /** Store subdirectory for the benchmark: "<name>-<scale>". */
     std::string dirName() const;
 
@@ -145,6 +153,27 @@ struct ShardSpec
 };
 
 /**
+ * Field-for-field equality — the ONE definition every plan/echo
+ * comparison uses (store plan-match checks, the distributed
+ * shard-echo refusal), so a future ShardSpec field cannot make one
+ * path recapture while another accepts a stale plan. Whole plans
+ * compare via std::vector's operator==.
+ */
+inline bool
+operator==(const ShardSpec &a, const ShardSpec &b)
+{
+    return a.firstUnitIndex == b.firstUnitIndex &&
+           a.unitCount == b.unitCount && a.resumePos == b.resumePos &&
+           a.runsTail == b.runsTail;
+}
+
+inline bool
+operator!=(const ShardSpec &a, const ShardSpec &b)
+{
+    return !(a == b);
+}
+
+/**
  * A built checkpoint library: the shard plan plus every captured
  * resume checkpoint, reusable across runs. Capturing costs roughly
  * one warming pass; once built, sharded measurement of the same
@@ -170,6 +199,21 @@ class CheckpointLibrary
     static std::vector<ShardSpec>
     planShards(const SamplingConfig &config,
                std::uint64_t streamLength, std::size_t shards);
+
+    /**
+     * Check that @p plan is one planShards(@p config, ...) could
+     * have produced: contiguous shard geometry, interior resume
+     * positions on iteration boundaries, the tail flag on exactly
+     * the last shard. Returns an empty string when valid, else a
+     * diagnostic naming the offending shard. Both the library
+     * loader and the distributed job manifest refuse files whose
+     * plan fails this — a checksum only proves the writer was
+     * careful, not honest, and executing a malformed plan would
+     * MIS-MEASURE instead of failing loudly.
+     */
+    static std::string
+    validatePlan(const SamplingConfig &config,
+                 const std::vector<ShardSpec> &plan);
 
     /**
      * Stream @p session (fresh, at stream start) through the serial

@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -31,6 +32,7 @@ namespace smarts::core {
 
 class CheckpointLibrary;
 class CheckpointStore;
+struct ShardSpec;
 
 /** Builds a fresh session at stream start (thread-safe, reentrant). */
 using SessionFactory = std::function<std::unique_ptr<SimSession>()>;
@@ -85,6 +87,31 @@ struct SamplingConfig
             (firstWhole - idx + interval - 1) / interval;
         return idx + steps * interval;
     }
+};
+
+/** One measured unit's observations, in stream order. */
+struct UnitObservation
+{
+    double cpi = 0.0;
+    double epi = 0.0;
+};
+
+/**
+ * Raw results of one contiguous slice of the sampling loop — the
+ * unit of work a shard (in-process or on a remote runner) produces
+ * and the unit foldSlice() merges. Everything an estimate
+ * accumulates is here verbatim, so folding slices in shard order
+ * reproduces the serial run bit for bit; this is also exactly what
+ * a distributed per-shard result file carries
+ * (docs/distributed-runners.md).
+ */
+struct SliceResult
+{
+    std::vector<UnitObservation> obs; ///< per complete unit, stream order.
+    std::uint64_t measured = 0;
+    std::uint64_t warmed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t endPos = 0; ///< session position at slice end.
 };
 
 /** A sampled estimate of CPI and EPI with confidence intervals. */
@@ -164,6 +191,31 @@ struct SmartsEstimate
                                          instructionsDropped) /
                          static_cast<double>(streamLength)
                    : 0.0;
+    }
+
+    /**
+     * Bit-exact fingerprint of every field — statistical
+     * accumulators and instruction counters, doubles compared by
+     * bit pattern. This is the ONE definition behind every
+     * bit-identity contract (the determinism test suites, the
+     * golden bench columns, smarts_runner --serial-check): when the
+     * estimate grows a field, adding it here tightens all of them
+     * at once instead of silently narrowing one.
+     */
+    std::vector<std::uint64_t>
+    fingerprint() const
+    {
+        auto bits = [](double v) {
+            std::uint64_t b;
+            std::memcpy(&b, &v, sizeof b);
+            return b;
+        };
+        return {cpiStats.count(),     bits(cpiStats.mean()),
+                bits(cpiStats.variance()),
+                epiStats.count(),     bits(epiStats.mean()),
+                bits(epiStats.variance()),
+                instructionsMeasured, instructionsWarmed,
+                instructionsDropped,  streamLength};
     }
 };
 
@@ -245,6 +297,27 @@ class SystematicSampler
 
     /** Run the session to end of stream, sampling systematically. */
     SmartsEstimate run(SimSession &session) const;
+
+    /**
+     * Execute ONE shard's slice of the sampling loop on @p session
+     * (fresh at stream start for shard 0, restored from the shard's
+     * checkpoint otherwise). This is the slice entry point the
+     * sharded overloads below and the distributed runner
+     * (smarts::distrib) share: the serial loop body is common code,
+     * so no execution path can drift from run()'s semantics.
+     */
+    SliceResult runSlice(SimSession &session,
+                         const ShardSpec &shard) const;
+
+    /**
+     * Accumulate a slice into @p est by replaying its per-unit
+     * observations in stream order. Replay, not OnlineStats::merge:
+     * Chan's merge rounds differently from sequential accumulation,
+     * and every sharded/distributed path's contract is bit-identity
+     * with run(). Slices MUST be folded in shard (stream) order.
+     */
+    static void foldSlice(SmartsEstimate &est,
+                          const SliceResult &slice);
 
     /**
      * Matched-pair run: sample the shared stream once, measuring

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The leader side of the distributed protocol: plan a study, ship
+ * the checkpoint store, publish the manifest, and fold completed
+ * shard results into per-config SmartsEstimates that are
+ * bit-identical to serial SystematicSampler::run() at any runner
+ * count. The leader REFUSES — never silently merges — a result
+ * file that is truncated, corrupt, version-bumped, mis-keyed or
+ * from another study (docs/distributed-runners.md § Refusals).
+ */
+
+#ifndef SMARTS_DISTRIB_LEADER_HH
+#define SMARTS_DISTRIB_LEADER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_store.hh"
+#include "core/sampler.hh"
+#include "distrib/protocol.hh"
+#include "distrib/runner.hh"
+
+namespace smarts::distrib {
+
+/**
+ * Build the manifest of a study: ONE benchmark and sampling design,
+ * N machine configs, a shard plan of at most @p shards shards
+ * (CheckpointLibrary::planShards — the same split every in-process
+ * sharded path uses). The study id is a deterministic digest of
+ * every field, so republishing the identical study accepts prior
+ * (bit-identical) results while any other manifest's results
+ * refuse.
+ */
+JobManifest planStudy(const workloads::BenchmarkSpec &spec,
+                      const std::vector<uarch::MachineConfig> &configs,
+                      const core::SamplingConfig &sampling,
+                      std::uint64_t streamLength,
+                      std::size_t shards);
+
+/**
+ * Make @p store serve every (config, shard > 0) resume of
+ * @p manifest: any key whose library is missing, refuses to load,
+ * or was captured under a DIFFERENT shard plan is (re)captured with
+ * the manifest's plan — all misses in one MultiSession streaming
+ * pass, geometry-duplicate configs captured once. Returns the
+ * number of libraries captured (0 = the store already matched).
+ * After this, runners sharing the store never pay capture cost.
+ */
+std::size_t ensureStudyStore(const core::CheckpointStore &store,
+                             const JobManifest &manifest);
+
+/**
+ * Publish @p manifest into @p dir (atomic temp+rename). A queue
+ * holding a DIFFERENT study (by studyId) — or no loadable manifest
+ * — is reset first: its claims would shadow live work and its
+ * results would refuse at merge anyway. Republishing the IDENTICAL
+ * study keeps claims and results: they are bit-identical by
+ * contract, so a restarted leader reuses them without
+ * re-execution.
+ */
+bool publishStudy(const std::string &dir, const JobManifest &manifest,
+                  std::string *error = nullptr);
+
+/** True when every (config × shard) result file exists. */
+bool studyComplete(const std::string &dir,
+                   const JobManifest &manifest);
+
+/**
+ * Fold every result file into per-config estimates, in shard order
+ * per config — the same foldSlice replay order the in-process
+ * sharded paths use, so each estimate is bit-identical to serial
+ * run() under that config. Nullopt with a diagnostic if ANY result
+ * is missing or refuses validation; a partial or suspect study
+ * never yields an estimate.
+ */
+std::optional<std::vector<core::SmartsEstimate>>
+mergeStudy(const std::string &dir, const JobManifest &manifest,
+           std::string *error = nullptr);
+
+/**
+ * Wait for the study to complete, then merge. @p helper (optional)
+ * is a Runner the leader uses to execute still-unclaimed jobs while
+ * it waits — a leader with a helper makes progress even with zero
+ * external runners. A result file that refuses validation is
+ * QUARANTINED (result + claim deleted, with a logged diagnostic)
+ * and its job re-executed, so one poisoned file cannot wedge a live
+ * study; the timeout still bounds everything. Nullopt with a
+ * diagnostic on timeout or unrecoverable refusal.
+ */
+std::optional<std::vector<core::SmartsEstimate>>
+collectStudy(const std::string &dir, const JobManifest &manifest,
+             double timeoutSeconds, Runner *helper = nullptr,
+             std::string *error = nullptr);
+
+} // namespace smarts::distrib
+
+#endif // SMARTS_DISTRIB_LEADER_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The on-disk protocol of the distributed shard runner
+ * (docs/distributed-runners.md): a LEADER writes a versioned,
+ * checksummed job manifest next to a shipped CheckpointStore; RUNNER
+ * processes atomically claim (config × shard) jobs, execute them
+ * through the same SystematicSampler::runSlice the in-process
+ * sharded paths use, and publish per-shard result files; the leader
+ * folds completed shards in shard order into per-config
+ * SmartsEstimates that are BIT-IDENTICAL to serial run() at any
+ * runner count.
+ *
+ * Everything here is a plain file in a shared directory — the queue
+ * needs nothing but a filesystem both sides can reach (NFS, a
+ * synced directory, scp). All files use the smarts::util binary
+ * format discipline: little-endian byte-wise encoding, trailing
+ * FNV-1a checksum, atomic temp+rename publish, and refusal — never
+ * silent acceptance — of truncated, corrupt, version-bumped or
+ * mis-keyed files.
+ */
+
+#ifndef SMARTS_DISTRIB_PROTOCOL_HH
+#define SMARTS_DISTRIB_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "core/sampler.hh"
+#include "uarch/config.hh"
+#include "util/binary_io.hh"
+#include "workloads/benchmark.hh"
+
+namespace smarts::distrib {
+
+/** On-disk protocol version, shared by manifest and result files
+ *  (docs/distributed-runners.md § Versioning). */
+constexpr std::uint32_t kDistribFormatVersion = 1;
+
+/** Queue-directory file names (docs/distributed-runners.md). */
+std::string manifestPath(const std::string &dir);
+std::string claimPath(const std::string &dir, std::uint32_t config,
+                      std::uint32_t shard);
+std::string resultPath(const std::string &dir, std::uint32_t config,
+                       std::uint32_t shard);
+
+/**
+ * The leader's statement of a study: ONE benchmark and sampling
+ * design, N machine configs, and the shard plan every runner must
+ * execute against. The manifest is self-describing — a runner needs
+ * nothing but this file and a checkpoint store to do its share —
+ * and self-validating: load() refuses a manifest whose plan no
+ * planShards() could produce or whose per-config geometry hashes
+ * disagree with this build's warmGeometryHash (a leader built from
+ * incompatible sources must fail loudly, not mis-warm).
+ */
+struct JobManifest
+{
+    /**
+     * Study identity: an FNV-1a digest of every other manifest
+     * field, echoed by every result file. Deterministic on purpose
+     * — republishing the identical study accepts a prior run's
+     * results (they are bit-identical by contract), while a result
+     * produced under ANY other manifest is refused at merge.
+     */
+    std::uint64_t studyId = 0;
+
+    std::uint64_t streamLength = 0; ///< true dynamic stream length.
+    workloads::BenchmarkSpec benchmark;
+    core::SamplingConfig sampling;
+    std::vector<uarch::MachineConfig> configs;
+    std::vector<std::uint64_t> geometryHashes; ///< one per config.
+    std::vector<core::ShardSpec> plan;
+
+    /** Jobs are the (config × shard) grid. */
+    std::size_t
+    jobCount() const
+    {
+        return configs.size() * plan.size();
+    }
+
+    /** The checkpoint-store key config @p c's shards resume from. */
+    core::LibraryKey
+    keyFor(std::size_t c) const
+    {
+        core::LibraryKey key;
+        key.benchmark = benchmark;
+        key.geometryHash = geometryHashes[c];
+        key.sampling = sampling;
+        return key;
+    }
+
+    /** Field order is normative: docs/distributed-runners.md. */
+    void serialize(util::BinaryWriter &out) const;
+
+    /** Serialize + checksum + atomic publish at @p path. */
+    bool save(const std::string &path,
+              std::string *error = nullptr) const;
+
+    /**
+     * Load and fully validate a manifest. Refuses — nullopt plus a
+     * diagnostic — on a missing/truncated/corrupt file, unknown
+     * version, malformed shard plan, or a geometry hash this
+     * build's warmGeometryHash does not reproduce.
+     */
+    static std::optional<JobManifest>
+    load(const std::string &path, std::string *error = nullptr);
+};
+
+/**
+ * One completed job: the raw SliceResult of shard @p shardIndex
+ * under config @p configIndex, plus everything the leader must
+ * verify before folding it — the study id, the job indices, the
+ * full library key, and an echo of the shard spec executed. The
+ * leader REFUSES (never silently merges) a result whose any field
+ * disagrees with the manifest.
+ */
+struct ShardResult
+{
+    std::uint64_t studyId = 0;
+    std::uint32_t configIndex = 0;
+    std::uint32_t shardIndex = 0;
+    core::LibraryKey key;
+    core::ShardSpec shard;
+    core::SliceResult slice;
+
+    /** Field order is normative: docs/distributed-runners.md. */
+    void serialize(util::BinaryWriter &out) const;
+
+    /** Serialize + checksum + atomic publish at @p path. */
+    bool save(const std::string &path,
+              std::string *error = nullptr) const;
+
+    /**
+     * Load the result for job (@p config, @p shard) of
+     * @p manifest, refusing on anything short of an exact match:
+     * missing/truncated/corrupt file, unknown version, study-id or
+     * job-index mismatch, key mismatch, a shard-spec echo that
+     * disagrees with the manifest plan, or internally inconsistent
+     * observation counts.
+     */
+    static std::optional<ShardResult>
+    load(const std::string &path, const JobManifest &manifest,
+         std::uint32_t config, std::uint32_t shard,
+         std::string *error = nullptr);
+};
+
+/**
+ * Atomically claim job (@p config, @p shard) in @p dir for
+ * @p runnerId. A claim is an exclusively-created marker file
+ * (write-temp + hard-link, which fails if the claim exists), so of
+ * N racing runners exactly one wins. Claims are a work-avoidance
+ * device, not a correctness one: results are deterministic and
+ * bit-identical, so a duplicated execution publishes identical
+ * bytes — wasted work, never corruption.
+ *
+ * @p staleSeconds >= 0 enables abandoned-claim recovery: a claim
+ * older than that with no published result may be re-claimed
+ * (atomic rename replaces the marker). Negative = never steal.
+ *
+ * Returns true when this caller owns the job.
+ */
+bool claimJob(const std::string &dir, std::uint32_t config,
+              std::uint32_t shard, const std::string &runnerId,
+              double staleSeconds = -1.0);
+
+/** Publish @p result into @p dir (atomic temp+rename). */
+bool publishResult(const std::string &dir, const ShardResult &result,
+                   std::string *error = nullptr);
+
+} // namespace smarts::distrib
+
+#endif // SMARTS_DISTRIB_PROTOCOL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The runner side of the distributed protocol: a Runner process (or
+ * thread) points at a queue directory and a local copy of the
+ * shipped CheckpointStore, waits for the leader's manifest, then
+ * claims and executes shard jobs until none remain. Execution goes
+ * through the exact slice machinery the in-process sharded paths
+ * use — restore the shard's checkpoint from the store, run
+ * SystematicSampler::runSlice — so a result produced on another
+ * host folds into an estimate bit-identical to serial run().
+ *
+ * A runner that finds no usable library in its store (missing file,
+ * or a stored plan that disagrees with the manifest's) falls back
+ * to capturing one itself with the manifest's plan: slower, never
+ * wrong. A leader that ships the store (Leader::ensureStudyStore)
+ * makes this fallback cold-path only.
+ */
+
+#ifndef SMARTS_DISTRIB_RUNNER_HH
+#define SMARTS_DISTRIB_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/checkpoint_store.hh"
+#include "distrib/protocol.hh"
+
+namespace smarts::distrib {
+
+struct RunnerOptions
+{
+    /** Claim-marker identity; also shows up in diagnostics. */
+    std::string id = "runner";
+
+    /**
+     * Abandoned-claim recovery window: a claim older than this with
+     * no result may be re-claimed (docs/distributed-runners.md
+     * § Crash and retry). Negative disables stealing.
+     */
+    double staleClaimSeconds = -1.0;
+};
+
+class Runner
+{
+  public:
+    Runner(std::string queueDir, std::string storeRoot,
+           RunnerOptions options = {});
+
+    /**
+     * Poll for the leader's manifest for up to @p waitSeconds.
+     * Nullopt when none appeared in time or the file refused to
+     * load (diagnostic in @p error).
+     */
+    std::optional<JobManifest>
+    awaitManifest(double waitSeconds,
+                  std::string *error = nullptr) const;
+
+    /**
+     * One sweep over the (config × shard) job grid: claim every
+     * available job and execute it, publishing each result
+     * atomically. Returns the number of jobs this call executed
+     * (0 = everything was done or claimed elsewhere).
+     */
+    std::size_t drain(const JobManifest &manifest);
+
+    /**
+     * Execute job (@p config, @p shard) regardless of claims —
+     * drain() calls this after winning a claim; tests call it
+     * directly to provoke duplicate execution (the result bytes
+     * are identical either way, which is what makes duplicated
+     * claims benign).
+     */
+    ShardResult execute(const JobManifest &manifest,
+                        std::uint32_t config, std::uint32_t shard);
+
+    const std::string &
+    queueDir() const
+    {
+        return dir_;
+    }
+
+  private:
+    /** Load (or capture, on a store miss) config @p c's library. */
+    const core::CheckpointLibrary &
+    libraryFor(const JobManifest &manifest, std::uint32_t c);
+
+    std::string dir_;
+    core::CheckpointStore store_;
+    RunnerOptions options_;
+
+    /**
+     * Per-config libraries of the study last executed, invalidated
+     * by study id: a long-lived runner serving successive manifests
+     * must never resume study B's shards from study A's warm state
+     * (the published key would still echo B's, so the leader could
+     * not catch it — the cache has to be correct by construction).
+     */
+    std::uint64_t cachedStudyId_ = 0;
+    std::map<std::uint32_t, core::CheckpointLibrary> libraries_;
+};
+
+} // namespace smarts::distrib
+
+#endif // SMARTS_DISTRIB_RUNNER_HH

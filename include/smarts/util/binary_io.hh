@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,19 @@ class BinaryWriter
         for (int shift = 0; shift < 64; shift += 8)
             buffer_.push_back(
                 static_cast<std::uint8_t>(v >> shift));
+    }
+
+    /**
+     * IEEE-754 double as its raw 64-bit pattern, little-endian —
+     * the round trip is bit-exact, which is what lets per-shard
+     * result files reproduce an estimate byte for byte.
+     */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
     }
 
     /** Length-prefixed (u32) UTF-8/ASCII bytes. */
@@ -168,6 +182,16 @@ class BinaryReader
         std::uint64_t v = 0;
         for (int shift = 0; shift < 64; shift += 8)
             v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+        return v;
+    }
+
+    /** Bit-exact inverse of BinaryWriter::f64. */
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
         return v;
     }
 

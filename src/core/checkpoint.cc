@@ -113,41 +113,6 @@ requireComplete(const CheckpointLibrary &library,
                          ") — was streamLength overstated?");
 }
 
-void
-writeKey(const LibraryKey &key, util::BinaryWriter &out)
-{
-    out.str(key.benchmark.name);
-    out.u32(static_cast<std::uint32_t>(key.benchmark.kernel));
-    out.u32(key.benchmark.variant);
-    out.u64(key.benchmark.seed);
-    out.u32(static_cast<std::uint32_t>(key.benchmark.scale));
-    out.u64(key.geometryHash);
-    out.u64(key.sampling.unitSize);
-    out.u64(key.sampling.detailedWarming);
-    out.u64(key.sampling.interval);
-    out.u64(key.sampling.offset);
-    out.u32(static_cast<std::uint32_t>(key.sampling.warming));
-}
-
-LibraryKey
-readKey(util::BinaryReader &in)
-{
-    LibraryKey key;
-    key.benchmark.name = in.str();
-    key.benchmark.kernel =
-        static_cast<workloads::Kernel>(in.u32());
-    key.benchmark.variant = in.u32();
-    key.benchmark.seed = in.u64();
-    key.benchmark.scale = static_cast<workloads::Scale>(in.u32());
-    key.geometryHash = in.u64();
-    key.sampling.unitSize = in.u64();
-    key.sampling.detailedWarming = in.u64();
-    key.sampling.interval = in.u64();
-    key.sampling.offset = in.u64();
-    key.sampling.warming = static_cast<WarmingMode>(in.u32());
-    return key;
-}
-
 const char *
 scaleName(workloads::Scale scale)
 {
@@ -170,6 +135,41 @@ LibraryKey::of(const workloads::BenchmarkSpec &spec,
     key.benchmark = spec;
     key.geometryHash = uarch::warmGeometryHash(config);
     key.sampling = sampling;
+    return key;
+}
+
+void
+LibraryKey::write(util::BinaryWriter &out) const
+{
+    out.str(benchmark.name);
+    out.u32(static_cast<std::uint32_t>(benchmark.kernel));
+    out.u32(benchmark.variant);
+    out.u64(benchmark.seed);
+    out.u32(static_cast<std::uint32_t>(benchmark.scale));
+    out.u64(geometryHash);
+    out.u64(sampling.unitSize);
+    out.u64(sampling.detailedWarming);
+    out.u64(sampling.interval);
+    out.u64(sampling.offset);
+    out.u32(static_cast<std::uint32_t>(sampling.warming));
+}
+
+LibraryKey
+LibraryKey::read(util::BinaryReader &in)
+{
+    LibraryKey key;
+    key.benchmark.name = in.str();
+    key.benchmark.kernel =
+        static_cast<workloads::Kernel>(in.u32());
+    key.benchmark.variant = in.u32();
+    key.benchmark.seed = in.u64();
+    key.benchmark.scale = static_cast<workloads::Scale>(in.u32());
+    key.geometryHash = in.u64();
+    key.sampling.unitSize = in.u64();
+    key.sampling.detailedWarming = in.u64();
+    key.sampling.interval = in.u64();
+    key.sampling.offset = in.u64();
+    key.sampling.warming = static_cast<WarmingMode>(in.u32());
     return key;
 }
 
@@ -265,6 +265,50 @@ CheckpointLibrary::planShards(const SamplingConfig &config,
     return plan;
 }
 
+std::string
+CheckpointLibrary::validatePlan(const SamplingConfig &config,
+                                const std::vector<ShardSpec> &plan)
+{
+    if (plan.empty())
+        return "the plan has no shards";
+    if (!config.unitSize || !config.interval)
+        return "the sampling design has a zero unit size or interval";
+    std::uint64_t expectIdx = config.offset;
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+        const ShardSpec &shard = plan[s];
+        const bool contiguous =
+            shard.firstUnitIndex == expectIdx &&
+            shard.firstUnitIndex <= ~0ull / config.unitSize &&
+            shard.runsTail == (s + 1 == plan.size()) &&
+            (s == 0 ||
+             (shard.unitCount >= 1 &&
+              shard.resumePos ==
+                  (shard.firstUnitIndex - config.interval) *
+                          config.unitSize +
+                      config.unitSize)) &&
+            (s > 0 || shard.resumePos == 0);
+        if (!contiguous)
+            return log::format("shard ", s,
+                               " breaks the contiguous plan "
+                               "geometry");
+        // Overflow-checked advance: a hostile plan (the checksum
+        // only proves the writer was careful, not honest) could
+        // pick unitCount * interval ≡ 0 mod 2^64 so the next shard
+        // "contiguously" overlaps this one — wrapping here would
+        // accept exactly the overlapping plan this function exists
+        // to refuse.
+        if (shard.unitCount > ~0ull / config.interval)
+            return log::format("shard ", s,
+                               " has an overflowing unit count");
+        const std::uint64_t span = shard.unitCount * config.interval;
+        if (expectIdx > ~0ull - span)
+            return log::format("shard ", s,
+                               " has an overflowing unit count");
+        expectIdx += span;
+    }
+    return {};
+}
+
 void
 CheckpointLibrary::capture(SimSession &session,
                            const SamplingConfig &config,
@@ -342,7 +386,7 @@ CheckpointLibrary::serialize(const LibraryKey &key,
         out.u8(static_cast<std::uint8_t>(c));
     out.u32(kCheckpointFormatVersion);
     out.u32(kEndianMark);
-    writeKey(key, out);
+    key.write(out);
 
     out.u64(plan_.size());
     for (const ShardSpec &shard : plan_) {
@@ -400,7 +444,7 @@ CheckpointLibrary::load(const std::string &path,
         return refuse(log::format(path,
                                   " has a bad endianness marker"));
 
-    const LibraryKey stored = readKey(in);
+    const LibraryKey stored = LibraryKey::read(in);
     const std::string mismatch = expect.mismatchAgainst(stored);
     if (!mismatch.empty())
         return refuse(log::format(path, ": ", mismatch));
@@ -425,28 +469,11 @@ CheckpointLibrary::load(const std::string &path,
     // executing a malformed plan (overlapping shards, misplaced
     // tail) would MIS-MEASURE instead of refusing.
     {
-        const SamplingConfig &sc = stored.sampling;
-        std::uint64_t expectIdx = sc.offset;
-        for (std::size_t s = 0; s < shardCount; ++s) {
-            const ShardSpec &shard = library.plan_[s];
-            const bool contiguous =
-                shard.firstUnitIndex == expectIdx &&
-                shard.firstUnitIndex <= ~0ull / sc.unitSize &&
-                shard.runsTail == (s + 1 == shardCount) &&
-                (s == 0 ||
-                 (shard.unitCount >= 1 &&
-                  shard.resumePos ==
-                      (shard.firstUnitIndex - sc.interval) *
-                              sc.unitSize +
-                          sc.unitSize)) &&
-                (s > 0 || shard.resumePos == 0);
-            if (!contiguous)
-                return refuse(log::format(
-                    path, " is corrupt (shard ", s,
-                    " breaks the contiguous plan geometry)"));
-            expectIdx =
-                shard.firstUnitIndex + shard.unitCount * sc.interval;
-        }
+        const std::string planError =
+            validatePlan(stored.sampling, library.plan_);
+        if (!planError.empty())
+            return refuse(log::format(path, " is corrupt (",
+                                      planError, ")"));
     }
     const std::uint64_t cpCount = in.u64();
     if (cpCount != shardCount)

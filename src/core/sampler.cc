@@ -11,32 +11,17 @@ namespace smarts::core {
 
 namespace {
 
-/** One measured unit's observations, in stream order. */
-struct UnitObs
-{
-    double cpi = 0.0;
-    double epi = 0.0;
-};
-
-/** Raw results of one contiguous slice of the sampling loop. */
-struct SliceResult
-{
-    std::vector<UnitObs> obs; ///< per complete unit, stream order.
-    std::uint64_t measured = 0;
-    std::uint64_t warmed = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t endPos = 0; ///< session position at slice end.
-};
-
 /**
  * The serial sampling loop over one slice of the unit grid — shared
- * verbatim by run() (a single all-units slice) and runSharded()
- * (one slice per shard resumed from its checkpoint), so the sharded
- * path cannot drift from the serial semantics.
+ * verbatim by run() (a single all-units slice), runSharded() (one
+ * slice per shard resumed from its checkpoint) and, through the
+ * public SystematicSampler::runSlice, the distributed runner — so
+ * no execution path can drift from the serial semantics.
  */
 SliceResult
-runSlice(SimSession &session, const SamplingConfig &config,
-         std::uint64_t startIdx, std::uint64_t maxUnits, bool runTail)
+runSliceRange(SimSession &session, const SamplingConfig &config,
+              std::uint64_t startIdx, std::uint64_t maxUnits,
+              bool runTail)
 {
     const std::uint64_t u = config.unitSize;
     const std::uint64_t w = config.detailedWarming;
@@ -104,16 +89,22 @@ runSlice(SimSession &session, const SamplingConfig &config,
     return r;
 }
 
-/**
- * Accumulate a slice into the estimate by replaying its per-unit
- * observations in stream order. Replay, not OnlineStats::merge:
- * Chan's merge rounds differently from sequential accumulation, and
- * runSharded's contract is bit-identity with run().
- */
-void
-foldSlice(SmartsEstimate &est, const SliceResult &slice)
+} // namespace
+
+SliceResult
+SystematicSampler::runSlice(SimSession &session,
+                            const ShardSpec &shard) const
 {
-    for (const UnitObs &o : slice.obs) {
+    return runSliceRange(session, config_, shard.firstUnitIndex,
+                         shard.runsTail ? ~0ull : shard.unitCount,
+                         shard.runsTail);
+}
+
+void
+SystematicSampler::foldSlice(SmartsEstimate &est,
+                             const SliceResult &slice)
+{
+    for (const UnitObservation &o : slice.obs) {
         est.cpiStats.add(o.cpi);
         est.epiStats.add(o.epi);
     }
@@ -123,8 +114,6 @@ foldSlice(SmartsEstimate &est, const SliceResult &slice)
     if (slice.endPos > est.streamLength)
         est.streamLength = slice.endPos;
 }
-
-} // namespace
 
 SystematicSampler::SystematicSampler(const SamplingConfig &config)
     : config_(config)
@@ -139,8 +128,8 @@ SmartsEstimate
 SystematicSampler::run(SimSession &session) const
 {
     SmartsEstimate est;
-    foldSlice(est, runSlice(session, config_, config_.offset, ~0ull,
-                            /*runTail=*/true));
+    foldSlice(est, runSliceRange(session, config_, config_.offset,
+                                 ~0ull, /*runTail=*/true));
     return est;
 }
 
@@ -264,7 +253,7 @@ SystematicSampler::runShardedCold(const SessionFactory &factory,
             if (s)
                 session->restoreState(cp.arch, cp.timing);
             const ShardSpec &shard = plan[s];
-            results[s] = runSlice(
+            results[s] = runSliceRange(
                 *session, config, shard.firstUnitIndex,
                 shard.runsTail ? ~0ull : shard.unitCount,
                 shard.runsTail);
@@ -357,7 +346,7 @@ SystematicSampler::runSharded(const SessionFactory &factory,
                 session->restoreState(library.at(s).arch,
                                       library.at(s).timing);
             const ShardSpec &shard = plan[s];
-            results[s] = runSlice(
+            results[s] = runSliceRange(
                 *session, config, shard.firstUnitIndex,
                 shard.runsTail ? ~0ull : shard.unitCount,
                 shard.runsTail);

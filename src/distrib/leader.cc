@@ -1,0 +1,189 @@
+#include "distrib/leader.hh"
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "core/multi_session.hh"
+#include "util/logging.hh"
+
+namespace smarts::distrib {
+
+namespace fs = std::filesystem;
+
+JobManifest
+planStudy(const workloads::BenchmarkSpec &spec,
+          const std::vector<uarch::MachineConfig> &configs,
+          const core::SamplingConfig &sampling,
+          std::uint64_t streamLength, std::size_t shards)
+{
+    if (configs.empty())
+        SMARTS_FATAL("a study needs at least one machine config");
+    JobManifest m;
+    m.benchmark = spec;
+    m.sampling = sampling;
+    m.streamLength = streamLength;
+    m.configs = configs;
+    for (const uarch::MachineConfig &config : configs)
+        m.geometryHashes.push_back(uarch::warmGeometryHash(config));
+    m.plan = core::CheckpointLibrary::planShards(sampling,
+                                                 streamLength, shards);
+
+    // Deterministic study id: digest the manifest with the id slot
+    // zeroed. Same study -> same id (prior results stay valid);
+    // any field change -> new id (old results refuse at merge).
+    util::BinaryWriter digest;
+    m.serialize(digest);
+    m.studyId =
+        util::fnv1a(digest.buffer().data(), digest.buffer().size());
+    return m;
+}
+
+std::size_t
+ensureStudyStore(const core::CheckpointStore &store,
+                 const JobManifest &manifest)
+{
+    // Plan-exact on purpose: every runner of this study resumes
+    // from the manifest's own shard boundaries, so a library
+    // captured under any other split is a miss here even though
+    // the in-process store-backed paths could use it.
+    return store.ensure(manifest.benchmark, manifest.configs,
+                        manifest.sampling, manifest.plan);
+}
+
+bool
+publishStudy(const std::string &dir, const JobManifest &manifest,
+             std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (error)
+            *error = log::format("cannot create ", dir, ": ",
+                                 ec.message());
+        return false;
+    }
+    // Republishing the IDENTICAL study (same deterministic studyId)
+    // keeps the queue: completed results are bit-identical by
+    // contract, so a restarted leader reuses them without
+    // re-execution. Any other prior content — a different study, or
+    // an unreadable manifest — is reset: its claims would shadow
+    // live work and its results would refuse at merge anyway.
+    const std::optional<JobManifest> prior =
+        JobManifest::load(manifestPath(dir));
+    if (!prior || prior->studyId != manifest.studyId) {
+        fs::remove_all(fs::path(dir) / "claims", ec);
+        fs::remove_all(fs::path(dir) / "results", ec);
+    }
+    return manifest.save(manifestPath(dir), error);
+}
+
+bool
+studyComplete(const std::string &dir, const JobManifest &manifest)
+{
+    std::error_code ec;
+    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c)
+        for (std::uint32_t s = 0; s < manifest.plan.size(); ++s)
+            if (!fs::exists(resultPath(dir, c, s), ec))
+                return false;
+    return true;
+}
+
+std::optional<std::vector<core::SmartsEstimate>>
+mergeStudy(const std::string &dir, const JobManifest &manifest,
+           std::string *error)
+{
+    std::vector<core::SmartsEstimate> estimates(
+        manifest.configs.size());
+    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c) {
+        core::SmartsEstimate est;
+        for (std::uint32_t s = 0; s < manifest.plan.size(); ++s) {
+            std::string why;
+            const std::optional<ShardResult> result =
+                ShardResult::load(resultPath(dir, c, s), manifest,
+                                  c, s, &why);
+            if (!result) {
+                // Refusal, not tolerance: a study with a missing or
+                // suspect shard yields NO estimate.
+                if (error)
+                    *error = std::move(why);
+                return std::nullopt;
+            }
+            core::SystematicSampler::foldSlice(est, result->slice);
+        }
+        estimates[c] = est;
+    }
+    return estimates;
+}
+
+std::optional<std::vector<core::SmartsEstimate>>
+collectStudy(const std::string &dir, const JobManifest &manifest,
+             double timeoutSeconds, Runner *helper,
+             std::string *error)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(timeoutSeconds);
+    for (;;) {
+        while (!studyComplete(dir, manifest)) {
+            // A helping leader executes whatever nobody has
+            // claimed — progress is guaranteed even with zero
+            // external runners.
+            if (helper && helper->drain(manifest))
+                continue;
+            if (std::chrono::steady_clock::now() >= deadline) {
+                if (error)
+                    *error = log::format(
+                        "study incomplete after ", timeoutSeconds,
+                        "s (", manifest.jobCount(),
+                        " jobs; check the runners and the claims/ "
+                        "directory under ",
+                        dir, ")");
+                return std::nullopt;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+
+        std::string why;
+        if (auto merged = mergeStudy(dir, manifest, &why))
+            return merged;
+
+        // The study is "complete" but refuses to merge: at least
+        // one result file is poisoned (corrupt in transit, or a
+        // straggler from a previous study won a publish race).
+        // A refusing result would otherwise wedge the study
+        // forever — claims treat an existing result as done, so
+        // nobody re-executes the job. Quarantine every refusing
+        // file (delete result + claim) and go back to waiting:
+        // the helper or any live runner redoes the job. A
+        // systematic refusal (e.g. incompatible builds) cannot
+        // loop unbounded — the deadline above still applies.
+        std::size_t quarantined = 0;
+        for (std::uint32_t c = 0; c < manifest.configs.size(); ++c)
+            for (std::uint32_t s = 0; s < manifest.plan.size();
+                 ++s) {
+                const std::string path = resultPath(dir, c, s);
+                std::error_code ec;
+                if (!fs::exists(path, ec))
+                    continue;
+                std::string jobWhy;
+                if (ShardResult::load(path, manifest, c, s, &jobWhy)
+                        .has_value())
+                    continue;
+                SMARTS_LOG("collect: quarantining refused result "
+                           "for job (", c, ", ", s, "): ", jobWhy);
+                fs::remove(path, ec);
+                fs::remove(claimPath(dir, c, s), ec);
+                ++quarantined;
+            }
+        if (!quarantined ||
+            std::chrono::steady_clock::now() >= deadline) {
+            if (error)
+                *error = std::move(why);
+            return std::nullopt;
+        }
+    }
+}
+
+} // namespace smarts::distrib

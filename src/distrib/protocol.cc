@@ -1,0 +1,477 @@
+#include "distrib/protocol.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace smarts::distrib {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** File magics: 8 bytes each, version-independent. */
+constexpr char kManifestMagic[8] = {'S', 'M', 'R', 'T',
+                                    'J', 'O', 'B', 'M'};
+constexpr char kResultMagic[8] = {'S', 'M', 'R', 'T',
+                                  'R', 'S', 'L', 'T'};
+
+/** Endianness probe, same convention as the .smck format. */
+constexpr std::uint32_t kEndianMark = 0x01020304u;
+
+std::string
+jobName(std::uint32_t config, std::uint32_t shard)
+{
+    return log::format("c", config, "_s", shard);
+}
+
+void
+writeMagic(util::BinaryWriter &out, const char (&magic)[8])
+{
+    for (const char c : magic)
+        out.u8(static_cast<std::uint8_t>(c));
+}
+
+bool
+readMagic(util::BinaryReader &in, const char (&magic)[8])
+{
+    bool ok = true;
+    for (const char c : magic)
+        ok &= in.u8() == static_cast<std::uint8_t>(c);
+    return ok;
+}
+
+/**
+ * MachineConfig serialization: every field, doubles as raw IEEE-754
+ * bit patterns, in the normative order of
+ * docs/distributed-runners.md § Machine config. The manifest
+ * carries FULL configs (not names) so a runner reconstructs the
+ * exact machine the leader meant — including timing-only fields the
+ * geometry hash deliberately ignores.
+ */
+void
+writeMachine(util::BinaryWriter &out, const uarch::MachineConfig &c)
+{
+    out.str(c.name);
+    out.u32(c.width);
+    out.u32(c.robSize);
+    out.u32(c.pipelineDepth);
+    out.u8(c.modelWrongPath ? 1 : 0);
+    out.u32(c.wrongPathFetches);
+    out.f64(c.loadStallFactor);
+    out.f64(c.storeStallFactor);
+    for (const mem::CacheConfig *cc :
+         {&c.mem.l1i, &c.mem.l1d, &c.mem.l2}) {
+        out.u32(cc->sizeBytes);
+        out.u32(cc->assoc);
+        out.u32(cc->lineBytes);
+        out.u32(cc->latency);
+    }
+    for (const mem::TlbConfig *tc : {&c.mem.itlb, &c.mem.dtlb}) {
+        out.u32(tc->entries);
+        out.u32(tc->pageBytes);
+        out.u32(tc->missLatency);
+    }
+    out.u32(c.mem.memLatency);
+    out.u32(c.bpred.historyBits);
+    out.u32(c.bpred.btbEntries);
+    out.u32(c.bpred.rasEntries);
+    out.f64(c.energy.perInst);
+    out.f64(c.energy.perCycle);
+    out.f64(c.energy.l1Access);
+    out.f64(c.energy.l2Access);
+    out.f64(c.energy.memAccess);
+    out.f64(c.energy.bpredAccess);
+}
+
+uarch::MachineConfig
+readMachine(util::BinaryReader &in)
+{
+    uarch::MachineConfig c;
+    c.name = in.str();
+    c.width = in.u32();
+    c.robSize = in.u32();
+    c.pipelineDepth = in.u32();
+    c.modelWrongPath = in.u8() != 0;
+    c.wrongPathFetches = in.u32();
+    c.loadStallFactor = in.f64();
+    c.storeStallFactor = in.f64();
+    for (mem::CacheConfig *cc : {&c.mem.l1i, &c.mem.l1d, &c.mem.l2}) {
+        cc->sizeBytes = in.u32();
+        cc->assoc = in.u32();
+        cc->lineBytes = in.u32();
+        cc->latency = in.u32();
+    }
+    for (mem::TlbConfig *tc : {&c.mem.itlb, &c.mem.dtlb}) {
+        tc->entries = in.u32();
+        tc->pageBytes = in.u32();
+        tc->missLatency = in.u32();
+    }
+    c.mem.memLatency = in.u32();
+    c.bpred.historyBits = in.u32();
+    c.bpred.btbEntries = in.u32();
+    c.bpred.rasEntries = in.u32();
+    c.energy.perInst = in.f64();
+    c.energy.perCycle = in.f64();
+    c.energy.l1Access = in.f64();
+    c.energy.l2Access = in.f64();
+    c.energy.memAccess = in.f64();
+    c.energy.bpredAccess = in.f64();
+    return c;
+}
+
+void
+writeShard(util::BinaryWriter &out, const core::ShardSpec &shard)
+{
+    out.u64(shard.firstUnitIndex);
+    out.u64(shard.unitCount);
+    out.u64(shard.resumePos);
+    out.u8(shard.runsTail ? 1 : 0);
+}
+
+core::ShardSpec
+readShard(util::BinaryReader &in)
+{
+    core::ShardSpec shard;
+    shard.firstUnitIndex = in.u64();
+    shard.unitCount = in.u64();
+    shard.resumePos = in.u64();
+    shard.runsTail = in.u8() != 0;
+    return shard;
+}
+
+/** A process-unique temp name next to @p path (atomic-publish
+ *  discipline, docs/distributed-runners.md § Atomicity). */
+std::string
+tempName(const std::string &path, const std::string &tag)
+{
+    static std::atomic<unsigned> serial{0};
+    return log::format(path, ".tmp.", tag, ".", ::getpid(), ".",
+                       serial.fetch_add(1));
+}
+
+} // namespace
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return (fs::path(dir) / "manifest.smjm").string();
+}
+
+std::string
+claimPath(const std::string &dir, std::uint32_t config,
+          std::uint32_t shard)
+{
+    return (fs::path(dir) / "claims" /
+            (jobName(config, shard) + ".claim"))
+        .string();
+}
+
+std::string
+resultPath(const std::string &dir, std::uint32_t config,
+           std::uint32_t shard)
+{
+    return (fs::path(dir) / "results" /
+            (jobName(config, shard) + ".smrr"))
+        .string();
+}
+
+void
+JobManifest::serialize(util::BinaryWriter &out) const
+{
+    writeMagic(out, kManifestMagic);
+    out.u32(kDistribFormatVersion);
+    out.u32(kEndianMark);
+    out.u64(studyId);
+    out.u64(streamLength);
+    // Benchmark + sampling via the LibraryKey encoding the .smck
+    // format already fixed; the hash slot is zero here because
+    // geometry is per config (the list below).
+    core::LibraryKey base;
+    base.benchmark = benchmark;
+    base.sampling = sampling;
+    base.geometryHash = 0;
+    base.write(out);
+    out.u32(static_cast<std::uint32_t>(configs.size()));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        writeMachine(out, configs[c]);
+        out.u64(geometryHashes[c]);
+    }
+    out.u64(plan.size());
+    for (const core::ShardSpec &shard : plan)
+        writeShard(out, shard);
+}
+
+bool
+JobManifest::save(const std::string &path, std::string *error) const
+{
+    util::BinaryWriter out;
+    serialize(out);
+    return out.writeFile(path, error);
+}
+
+std::optional<JobManifest>
+JobManifest::load(const std::string &path, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    std::string ioError;
+    util::BinaryReader in =
+        util::BinaryReader::fromFile(path, &ioError);
+    if (in.failed())
+        return refuse(std::move(ioError));
+
+    if (!readMagic(in, kManifestMagic))
+        return refuse(
+            log::format(path, " is not a smarts job manifest"));
+    const std::uint32_t version = in.u32();
+    if (version != kDistribFormatVersion)
+        return refuse(log::format(
+            path, " is protocol version ", version,
+            "; this build speaks version ", kDistribFormatVersion));
+    if (in.u32() != kEndianMark)
+        return refuse(log::format(path,
+                                  " has a bad endianness marker"));
+
+    JobManifest m;
+    m.studyId = in.u64();
+    m.streamLength = in.u64();
+    const core::LibraryKey base = core::LibraryKey::read(in);
+    m.benchmark = base.benchmark;
+    m.sampling = base.sampling;
+
+    const std::uint32_t configCount = in.u32();
+    if (configCount == 0 || configCount > in.remaining())
+        return refuse(log::format(path, " is corrupt (config count ",
+                                  configCount, ")"));
+    m.configs.reserve(configCount);
+    m.geometryHashes.reserve(configCount);
+    for (std::uint32_t c = 0; c < configCount; ++c) {
+        m.configs.push_back(readMachine(in));
+        m.geometryHashes.push_back(in.u64());
+    }
+
+    const std::uint64_t shardCount = in.u64();
+    if (shardCount > in.remaining())
+        return refuse(log::format(path, " is corrupt (shard count ",
+                                  shardCount, ")"));
+    m.plan.reserve(shardCount);
+    for (std::uint64_t s = 0; s < shardCount; ++s)
+        m.plan.push_back(readShard(in));
+
+    if (in.failed() || in.remaining() != 0)
+        return refuse(log::format(
+            path, " is truncated or has trailing garbage"));
+
+    const std::string planError =
+        core::CheckpointLibrary::validatePlan(m.sampling, m.plan);
+    if (!planError.empty())
+        return refuse(
+            log::format(path, " is corrupt (", planError, ")"));
+
+    // The stated geometry hashes must be reproducible by THIS
+    // build: a disagreement means the leader hashes warm state
+    // differently (diverged sources), and resuming its store's
+    // libraries would mis-warm.
+    for (std::uint32_t c = 0; c < configCount; ++c)
+        if (uarch::warmGeometryHash(m.configs[c]) !=
+            m.geometryHashes[c])
+            return refuse(log::format(
+                path, ": config ", c, " (", m.configs[c].name,
+                ") carries a geometry hash this build does not "
+                "reproduce — leader/runner builds are incompatible"));
+
+    return m;
+}
+
+void
+ShardResult::serialize(util::BinaryWriter &out) const
+{
+    writeMagic(out, kResultMagic);
+    out.u32(kDistribFormatVersion);
+    out.u32(kEndianMark);
+    out.u64(studyId);
+    out.u32(configIndex);
+    out.u32(shardIndex);
+    key.write(out);
+    writeShard(out, shard);
+    out.u64(slice.measured);
+    out.u64(slice.warmed);
+    out.u64(slice.dropped);
+    out.u64(slice.endPos);
+    out.u64(slice.obs.size());
+    for (const core::UnitObservation &o : slice.obs) {
+        out.f64(o.cpi);
+        out.f64(o.epi);
+    }
+}
+
+bool
+ShardResult::save(const std::string &path, std::string *error) const
+{
+    util::BinaryWriter out;
+    serialize(out);
+    return out.writeFile(path, error);
+}
+
+std::optional<ShardResult>
+ShardResult::load(const std::string &path,
+                  const JobManifest &manifest, std::uint32_t config,
+                  std::uint32_t shard, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    std::string ioError;
+    util::BinaryReader in =
+        util::BinaryReader::fromFile(path, &ioError);
+    if (in.failed())
+        return refuse(std::move(ioError));
+
+    if (!readMagic(in, kResultMagic))
+        return refuse(
+            log::format(path, " is not a smarts shard result"));
+    const std::uint32_t version = in.u32();
+    if (version != kDistribFormatVersion)
+        return refuse(log::format(
+            path, " is protocol version ", version,
+            "; this build speaks version ", kDistribFormatVersion));
+    if (in.u32() != kEndianMark)
+        return refuse(log::format(path,
+                                  " has a bad endianness marker"));
+
+    ShardResult r;
+    r.studyId = in.u64();
+    r.configIndex = in.u32();
+    r.shardIndex = in.u32();
+    r.key = core::LibraryKey::read(in);
+    r.shard = readShard(in);
+    r.slice.measured = in.u64();
+    r.slice.warmed = in.u64();
+    r.slice.dropped = in.u64();
+    r.slice.endPos = in.u64();
+    const std::uint64_t obsCount = in.u64();
+    if (in.failed() || obsCount > in.remaining() / 16)
+        return refuse(log::format(
+            path, " is corrupt (observation count ", obsCount, ")"));
+    r.slice.obs.resize(obsCount);
+    for (core::UnitObservation &o : r.slice.obs) {
+        o.cpi = in.f64();
+        o.epi = in.f64();
+    }
+    if (in.failed() || in.remaining() != 0)
+        return refuse(log::format(
+            path, " is truncated or has trailing garbage"));
+
+    // Semantic refusals: everything must match the manifest's view
+    // of job (config, shard). Merging a result from another study,
+    // another job, or another key would corrupt the estimate
+    // silently — exactly what this protocol exists to prevent.
+    if (r.studyId != manifest.studyId)
+        return refuse(log::format(
+            path, " belongs to study ", r.studyId,
+            ", not this manifest's study ", manifest.studyId));
+    if (r.configIndex != config || r.shardIndex != shard)
+        return refuse(log::format(
+            path, " is the result of job (config ", r.configIndex,
+            ", shard ", r.shardIndex, "), not (config ", config,
+            ", shard ", shard, ")"));
+    const std::string keyMismatch =
+        manifest.keyFor(config).mismatchAgainst(r.key);
+    if (!keyMismatch.empty())
+        return refuse(log::format(path, ": ", keyMismatch));
+    if (r.shard != manifest.plan[shard])
+        return refuse(log::format(
+            path, ": shard-spec echo disagrees with the manifest "
+                  "plan for shard ",
+            shard));
+    if (r.slice.measured !=
+        r.slice.obs.size() * manifest.sampling.unitSize)
+        return refuse(log::format(
+            path, " is inconsistent (", r.slice.obs.size(),
+            " observations for ", r.slice.measured,
+            " measured instructions at U=",
+            manifest.sampling.unitSize, ")"));
+    return r;
+}
+
+bool
+claimJob(const std::string &dir, std::uint32_t config,
+         std::uint32_t shard, const std::string &runnerId,
+         double staleSeconds)
+{
+    std::error_code ec;
+    // Already done: nothing to claim.
+    if (fs::exists(resultPath(dir, config, shard), ec))
+        return false;
+
+    const std::string claim = claimPath(dir, config, shard);
+    const fs::path claimFile(claim);
+    fs::create_directories(claimFile.parent_path(), ec);
+
+    // Stage the marker under a process-unique temp name.
+    const std::string tmp = tempName(claim, runnerId);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << runnerId << " pid=" << ::getpid() << "\n";
+    }
+
+    if (!fs::exists(claimFile, ec)) {
+        // Fresh claim: hard-link is atomic and FAILS if the claim
+        // appeared meanwhile — of N racing runners exactly one
+        // wins.
+        fs::create_hard_link(tmp, claimFile, ec);
+        std::error_code ignore;
+        fs::remove(tmp, ignore);
+        return !ec;
+    }
+
+    // Existing claim: steal only when stale recovery is enabled and
+    // the claim has sat result-less past the threshold. Rename
+    // atomically REPLACES the marker; two racing stealers both
+    // "win" and duplicate the execution — benign, because results
+    // are deterministic and byte-identical.
+    if (staleSeconds >= 0.0) {
+        const auto mtime = fs::last_write_time(claimFile, ec);
+        if (!ec) {
+            const double age =
+                std::chrono::duration<double>(
+                    fs::file_time_type::clock::now() - mtime)
+                    .count();
+            if (age >= staleSeconds) {
+                fs::rename(tmp, claimFile, ec);
+                if (!ec)
+                    return true;
+            }
+        }
+    }
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return false;
+}
+
+bool
+publishResult(const std::string &dir, const ShardResult &result,
+              std::string *error)
+{
+    return result.save(
+        resultPath(dir, result.configIndex, result.shardIndex),
+        error);
+}
+
+} // namespace smarts::distrib

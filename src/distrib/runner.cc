@@ -1,0 +1,137 @@
+#include "distrib/runner.hh"
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "core/session.hh"
+#include "util/logging.hh"
+
+namespace smarts::distrib {
+
+namespace fs = std::filesystem;
+
+Runner::Runner(std::string queueDir, std::string storeRoot,
+               RunnerOptions options)
+    : dir_(std::move(queueDir)), store_(std::move(storeRoot)),
+      options_(std::move(options))
+{
+}
+
+std::optional<JobManifest>
+Runner::awaitManifest(double waitSeconds, std::string *error) const
+{
+    const std::string path = manifestPath(dir_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(waitSeconds);
+    for (;;) {
+        std::error_code ec;
+        if (fs::exists(path, ec))
+            return JobManifest::load(path, error);
+        if (std::chrono::steady_clock::now() >= deadline) {
+            if (error)
+                *error = log::format("no manifest appeared at ",
+                                     path, " within ", waitSeconds,
+                                     "s");
+            return std::nullopt;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+    }
+}
+
+std::size_t
+Runner::drain(const JobManifest &manifest)
+{
+    std::size_t executed = 0;
+    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c) {
+        for (std::uint32_t s = 0; s < manifest.plan.size(); ++s) {
+            if (!claimJob(dir_, c, s, options_.id,
+                          options_.staleClaimSeconds))
+                continue;
+            const ShardResult result = execute(manifest, c, s);
+            std::string error;
+            if (!publishResult(dir_, result, &error))
+                SMARTS_FATAL("runner ", options_.id,
+                             ": cannot publish result for job (", c,
+                             ", ", s, "): ", error);
+            ++executed;
+        }
+    }
+    return executed;
+}
+
+ShardResult
+Runner::execute(const JobManifest &manifest, std::uint32_t config,
+                std::uint32_t shard)
+{
+    const uarch::MachineConfig &machine = manifest.configs[config];
+    core::SimSession session(manifest.benchmark, machine);
+    if (shard > 0) {
+        // Interior shards resume from the store's warm state;
+        // shard 0 starts at stream start and needs no library at
+        // all (a store-less runner can still contribute it).
+        const core::CheckpointLibrary &library =
+            libraryFor(manifest, config);
+        session.restoreState(library.at(shard).arch,
+                             library.at(shard).timing);
+    }
+
+    ShardResult result;
+    result.studyId = manifest.studyId;
+    result.configIndex = config;
+    result.shardIndex = shard;
+    result.key = manifest.keyFor(config);
+    result.shard = manifest.plan[shard];
+    result.slice = core::SystematicSampler(manifest.sampling)
+                       .runSlice(session, manifest.plan[shard]);
+    return result;
+}
+
+const core::CheckpointLibrary &
+Runner::libraryFor(const JobManifest &manifest, std::uint32_t c)
+{
+    if (cachedStudyId_ != manifest.studyId) {
+        libraries_.clear();
+        cachedStudyId_ = manifest.studyId;
+    }
+    const auto cached = libraries_.find(c);
+    if (cached != libraries_.end())
+        return cached->second;
+
+    const core::LibraryKey key = manifest.keyFor(c);
+    std::string error;
+    bool planMismatch = false;
+    if (std::optional<core::CheckpointLibrary> loaded =
+            store_.tryLoad(key, &error)) {
+        if (loaded->plan() == manifest.plan)
+            return libraries_
+                .emplace(c, std::move(*loaded))
+                .first->second;
+        planMismatch = true;
+        SMARTS_LOG("runner ", options_.id, ": stored library ",
+                   store_.pathFor(key),
+                   " was captured under a different shard plan; "
+                   "recapturing with the manifest's");
+    } else if (!error.empty()) {
+        SMARTS_LOG("runner ", options_.id, ": recapturing (", error,
+                   ")");
+    }
+
+    // Fallback: capture with the manifest's plan, and persist the
+    // repair — a missing or REFUSED (corrupt, stale-version) file
+    // would otherwise force this recapture on every later study.
+    // The one file left alone is a healthy plan-mismatched library:
+    // it may be exactly what another study wants.
+    core::SimSession session(manifest.benchmark,
+                             manifest.configs[c]);
+    core::CheckpointLibrary built = core::CheckpointLibrary::build(
+        session, manifest.sampling, manifest.plan);
+    if (!planMismatch && !store_.save(key, built, &error))
+        SMARTS_LOG("runner ", options_.id, ": could not persist ",
+                   store_.pathFor(key), " (", error, ")");
+    return libraries_.emplace(c, std::move(built)).first->second;
+}
+
+} // namespace smarts::distrib

@@ -1,11 +1,11 @@
 /**
  * @file
- * Shared bit-exact fingerprint of a SmartsEstimate for the
- * determinism suites (test_checkpoint.cc, test_persist.cc): every
- * statistical accumulator and instruction counter, doubles compared
- * by bit pattern. ONE definition on purpose — when SmartsEstimate
- * grows a field, adding it here tightens every bit-identity
- * contract at once instead of silently narrowing one suite's.
+ * Test-suite alias for the bit-exact SmartsEstimate fingerprint.
+ * The ONE definition lives on the estimate itself
+ * (core/sampler.hh, SmartsEstimate::fingerprint) so the tests, the
+ * golden benches and smarts_runner --serial-check all tighten
+ * together when the estimate grows a field; this header only keeps
+ * the suites' free-function spelling.
  */
 
 #ifndef SMARTS_TESTS_ESTIMATE_FINGERPRINT_HH
@@ -19,6 +19,7 @@
 
 namespace smarts::test {
 
+/** Raw bit pattern of a double (bit-exact comparisons in checks). */
 inline std::uint64_t
 bitsOf(double v)
 {
@@ -27,16 +28,10 @@ bitsOf(double v)
     return b;
 }
 
-/** Every field of the estimate, bit-exact. */
 inline std::vector<std::uint64_t>
 fingerprint(const core::SmartsEstimate &est)
 {
-    return {est.cpiStats.count(),    bitsOf(est.cpiStats.mean()),
-            bitsOf(est.cpiStats.variance()),
-            est.epiStats.count(),    bitsOf(est.epiStats.mean()),
-            bitsOf(est.epiStats.variance()),
-            est.instructionsMeasured, est.instructionsWarmed,
-            est.instructionsDropped, est.streamLength};
+    return est.fingerprint();
 }
 
 } // namespace smarts::test

@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Tests for the distributed shard runner (smarts::distrib,
+ * docs/distributed-runners.md): manifest and result-file
+ * roundtrips; the refusal matrix (truncated, corrupt,
+ * version-bumped, mis-keyed, wrong-study, wrong-job,
+ * inconsistent-payload files are REJECTED with a diagnostic, never
+ * merged); leader-merge bit-identity against serial run() at 1, 2
+ * and 5 concurrent runners; duplicate-claim benignity (identical
+ * bytes either way); abandoned-claim recovery via the stale-claim
+ * window; and the runner's capture fallback when the store's
+ * library was built under a different shard plan.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint_store.hh"
+#include "core/sampler.hh"
+#include "core/session.hh"
+#include "distrib/leader.hh"
+#include "distrib/protocol.hh"
+#include "distrib/runner.hh"
+#include "exec/thread_pool.hh"
+#include "uarch/config.hh"
+#include "util/binary_io.hh"
+#include "workloads/benchmark.hh"
+
+#include "check.hh"
+#include "estimate_fingerprint.hh"
+
+using namespace smarts;
+using smarts::test::fingerprint;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *kQueue = "test_distrib_queue";
+const char *kStore = "test_distrib_store";
+
+core::SamplingConfig
+defaultSampling()
+{
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 2000;
+    sc.interval = 10;
+    sc.warming = core::WarmingMode::Functional;
+    return sc;
+}
+
+std::uint64_t
+streamLengthOf(const workloads::BenchmarkSpec &spec,
+               const uarch::MachineConfig &config)
+{
+    core::SimSession probe(spec, config);
+    return probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+}
+
+core::SmartsEstimate
+serialRun(const workloads::BenchmarkSpec &spec,
+          const uarch::MachineConfig &config,
+          const core::SamplingConfig &sc)
+{
+    core::SimSession session(spec, config);
+    return core::SystematicSampler(sc).run(session);
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Rewrite @p path's trailing checksum after tampering with it. */
+void
+resealChecksum(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    const std::size_t payload = bytes.size() - 8;
+    const std::uint64_t sum = util::fnv1a(bytes.data(), payload);
+    for (int i = 0; i < 8; ++i)
+        bytes[payload + i] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
+    writeFileBytes(path, bytes);
+}
+
+/**
+ * Publish @p manifest into an emptied queue. The explicit wipe
+ * matters: publishStudy deliberately PRESERVES the queue when the
+ * incoming study is identical (tested below), and these suites
+ * re-run the same study and need fresh claims/results each time.
+ */
+void
+resetQueue(const distrib::JobManifest &manifest)
+{
+    fs::remove_all(kQueue);
+    std::string error;
+    CHECK(distrib::publishStudy(kQueue, manifest, &error));
+    CHECK_EQ(error, std::string());
+}
+
+void
+testManifestRoundtripAndRefusals()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    const distrib::JobManifest manifest = distrib::planStudy(
+        spec, {config, uarch::MachineConfig::sixteenWay()}, sc,
+        length, 4);
+    CHECK_EQ(manifest.configs.size(), std::size_t(2));
+    CHECK_EQ(manifest.plan.size(), std::size_t(4));
+    CHECK_EQ(manifest.jobCount(), std::size_t(8));
+    CHECK(manifest.studyId != 0);
+
+    // The study id is a deterministic digest: same study, same id;
+    // any parameter change, a different id.
+    CHECK_EQ(distrib::planStudy(spec, manifest.configs, sc, length, 4)
+                 .studyId,
+             manifest.studyId);
+    core::SamplingConfig scOther = sc;
+    scOther.offset = 1;
+    CHECK(distrib::planStudy(spec, manifest.configs, scOther, length,
+                             4)
+              .studyId != manifest.studyId);
+
+    const std::string path =
+        (fs::path(kQueue) / "roundtrip.smjm").string();
+    std::string error;
+    CHECK(manifest.save(path, &error));
+    const auto loaded = distrib::JobManifest::load(path, &error);
+    CHECK(loaded.has_value());
+    CHECK_EQ(error, std::string());
+    {
+        util::BinaryWriter a, b;
+        manifest.serialize(a);
+        loaded->serialize(b);
+        CHECK(a.buffer() == b.buffer());
+    }
+
+    const std::vector<std::uint8_t> good = readFileBytes(path);
+    CHECK(good.size() > 64);
+
+    auto expectRefusal = [&](const char *what, const char *needle) {
+        std::string why;
+        const auto result = distrib::JobManifest::load(path, &why);
+        CHECK(!result.has_value());
+        const bool mentions = why.find(needle) != std::string::npos;
+        CHECK(mentions);
+        if (!mentions)
+            std::fprintf(stderr,
+                         "  %s: diagnostic \"%s\" lacks \"%s\"\n",
+                         what, why.c_str(), needle);
+    };
+
+    // Truncation and corruption land on the checksum.
+    writeFileBytes(path, std::vector<std::uint8_t>(
+                             good.begin(),
+                             good.begin() + good.size() / 2));
+    expectRefusal("truncation", "checksum");
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() / 2] ^= 0x20;
+        writeFileBytes(path, bad);
+        expectRefusal("corruption", "checksum");
+    }
+
+    // Version bump, resealed: refused by number.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[8] = 2; // version u32 sits right after the 8-byte magic.
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("version bump", "protocol version 2");
+    }
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] = 'X';
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("magic", "not a smarts job manifest");
+    }
+
+    // A malformed plan no planShards() could produce.
+    {
+        distrib::JobManifest bad = manifest;
+        bad.plan[0].runsTail = true;
+        CHECK(bad.save(path, &error));
+        expectRefusal("malformed plan", "plan geometry");
+    }
+
+    // A geometry hash this build's warmGeometryHash cannot
+    // reproduce: leader/runner builds diverged.
+    {
+        distrib::JobManifest bad = manifest;
+        bad.geometryHashes[1] ^= 1;
+        CHECK(bad.save(path, &error));
+        expectRefusal("foreign geometry hash", "does not reproduce");
+    }
+}
+
+void
+testResultRoundtripAndRefusals()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("fsm-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {config}, sc, length, 3);
+    core::CheckpointStore store(kStore);
+    distrib::ensureStudyStore(store, manifest);
+
+    distrib::Runner runner(kQueue, kStore, {"roundtrip", -1.0});
+    const distrib::ShardResult produced =
+        runner.execute(manifest, 0, 1);
+    CHECK_EQ(produced.studyId, manifest.studyId);
+    CHECK(!produced.slice.obs.empty());
+
+    const std::string path =
+        (fs::path(kQueue) / "result_roundtrip.smrr").string();
+    std::string error;
+    CHECK(produced.save(path, &error));
+    const auto loaded =
+        distrib::ShardResult::load(path, manifest, 0, 1, &error);
+    CHECK(loaded.has_value());
+    CHECK_EQ(error, std::string());
+    {
+        // Byte-level identity of the reloaded result.
+        util::BinaryWriter a, b;
+        produced.serialize(a);
+        loaded->serialize(b);
+        CHECK(a.buffer() == b.buffer());
+    }
+
+    const std::vector<std::uint8_t> good = readFileBytes(path);
+    CHECK(good.size() > 64);
+
+    auto expectRefusal = [&](const char *what, const char *needle) {
+        std::string why;
+        const auto result =
+            distrib::ShardResult::load(path, manifest, 0, 1, &why);
+        CHECK(!result.has_value());
+        const bool mentions = why.find(needle) != std::string::npos;
+        CHECK(mentions);
+        if (!mentions)
+            std::fprintf(stderr,
+                         "  %s: diagnostic \"%s\" lacks \"%s\"\n",
+                         what, why.c_str(), needle);
+    };
+
+    // Truncated file.
+    writeFileBytes(path, std::vector<std::uint8_t>(
+                             good.begin(),
+                             good.begin() + good.size() / 2));
+    expectRefusal("truncation", "checksum");
+
+    // Single flipped payload byte.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() / 2] ^= 0x40;
+        writeFileBytes(path, bad);
+        expectRefusal("corruption", "checksum");
+    }
+
+    // Version bump, resealed.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[8] = 2;
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("version bump", "protocol version 2");
+    }
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] = 'X';
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("magic", "not a smarts shard result");
+    }
+
+    // Trailing garbage behind a valid checksum.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad.insert(bad.end() - 8, {0xde, 0xad, 0xbe, 0xef});
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("trailing garbage", "trailing garbage");
+    }
+
+    // Restore the pristine bytes; the semantic refusals below are
+    // about the expectation, not the file.
+    writeFileBytes(path, good);
+    CHECK(distrib::ShardResult::load(path, manifest, 0, 1, &error)
+              .has_value());
+
+    // Wrong job: the file is (0, 1), the leader asked for (0, 2).
+    {
+        std::string why;
+        CHECK(!distrib::ShardResult::load(path, manifest, 0, 2, &why)
+                   .has_value());
+        CHECK(why.find("shard 1") != std::string::npos);
+    }
+
+    // Wrong study: a manifest differing in any field refuses the
+    // result outright (study ids are digests of every field).
+    {
+        core::SamplingConfig scOther = sc;
+        scOther.interval = 17;
+        const distrib::JobManifest other =
+            distrib::planStudy(spec, {config}, scOther, length, 3);
+        std::string why;
+        CHECK(!distrib::ShardResult::load(path, other, 0, 1, &why)
+                   .has_value());
+        CHECK(why.find("study") != std::string::npos);
+    }
+
+    // Mis-keyed: right study id, wrong library key (geometry).
+    {
+        distrib::ShardResult bad = produced;
+        bad.key.geometryHash ^= 1;
+        CHECK(bad.save(path, &error));
+        expectRefusal("key mismatch", "geometry");
+    }
+
+    // Shard-spec echo disagrees with the manifest plan.
+    {
+        distrib::ShardResult bad = produced;
+        bad.shard.unitCount += 1;
+        CHECK(bad.save(path, &error));
+        expectRefusal("shard echo", "shard-spec echo");
+    }
+
+    // Internally inconsistent observation accounting.
+    {
+        distrib::ShardResult bad = produced;
+        bad.slice.measured += 1;
+        CHECK(bad.save(path, &error));
+        expectRefusal("inconsistent payload", "inconsistent");
+    }
+}
+
+void
+testMergeBitIdentityAtRunnerCounts()
+{
+    // The tentpole contract: the leader's merged estimate equals
+    // serial run() BYTE FOR BYTE at 1, 2 and 5 concurrent runners —
+    // for every config of a multi-config study.
+    const auto cfg8 = uarch::MachineConfig::eightWay();
+    const auto cfg16 = uarch::MachineConfig::sixteenWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, cfg8);
+
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {cfg8, cfg16}, sc, length, 5);
+    core::CheckpointStore store(kStore);
+    distrib::ensureStudyStore(store, manifest);
+    // Re-ensuring an up-to-date store captures nothing.
+    CHECK_EQ(distrib::ensureStudyStore(store, manifest),
+             std::size_t(0));
+
+    const core::SmartsEstimate serial8 = serialRun(spec, cfg8, sc);
+    const core::SmartsEstimate serial16 = serialRun(spec, cfg16, sc);
+    CHECK(serial8.units() > 0);
+
+    for (const std::size_t runners :
+         {std::size_t(1), std::size_t(2), std::size_t(5)}) {
+        resetQueue(manifest);
+        std::vector<std::thread> crew;
+        std::vector<std::size_t> executed(runners, 0);
+        for (std::size_t r = 0; r < runners; ++r)
+            crew.emplace_back([&, r] {
+                distrib::Runner runner(
+                    kQueue, kStore,
+                    {"crew-" + std::to_string(r), -1.0});
+                executed[r] = runner.drain(manifest);
+            });
+        for (std::thread &t : crew)
+            t.join();
+
+        std::size_t total = 0;
+        for (const std::size_t n : executed)
+            total += n;
+        CHECK_EQ(total, manifest.jobCount());
+        CHECK(distrib::studyComplete(kQueue, manifest));
+
+        std::string error;
+        const auto merged =
+            distrib::mergeStudy(kQueue, manifest, &error);
+        CHECK(merged.has_value());
+        CHECK_EQ(merged->size(), std::size_t(2));
+        CHECK(fingerprint((*merged)[0]) == fingerprint(serial8));
+        CHECK(fingerprint((*merged)[1]) == fingerprint(serial16));
+    }
+
+    // collectStudy with a helping leader needs no runners at all.
+    resetQueue(manifest);
+    distrib::Runner helper(kQueue, kStore, {"solo-leader", -1.0});
+    std::string error;
+    const auto collected = distrib::collectStudy(
+        kQueue, manifest, /*timeoutSeconds=*/300.0, &helper, &error);
+    CHECK(collected.has_value());
+    CHECK(fingerprint((*collected)[0]) == fingerprint(serial8));
+
+    // Republishing the IDENTICAL study preserves the completed
+    // results (the deterministic study id is designed for restarted
+    // leaders): the merge succeeds immediately, nothing re-runs.
+    CHECK(distrib::publishStudy(kQueue, manifest, &error));
+    CHECK(distrib::studyComplete(kQueue, manifest));
+    const auto reused = distrib::collectStudy(
+        kQueue, manifest, /*timeoutSeconds=*/5.0, nullptr, &error);
+    CHECK(reused.has_value());
+    CHECK(fingerprint((*reused)[0]) == fingerprint(serial8));
+
+    // A DIFFERENT study (any field changed) resets the queue.
+    {
+        core::SamplingConfig scOther = sc;
+        scOther.offset = 3;
+        const distrib::JobManifest other = distrib::planStudy(
+            spec, {cfg8, cfg16}, scOther, length, 5);
+        CHECK(distrib::publishStudy(kQueue, other, &error));
+        CHECK(!distrib::studyComplete(kQueue, other));
+        CHECK(!fs::exists(distrib::resultPath(kQueue, 0, 0)));
+    }
+    resetQueue(manifest);
+    CHECK(distrib::collectStudy(kQueue, manifest, 300.0, &helper,
+                                &error)
+              .has_value());
+
+    // A missing shard result refuses the whole merge.
+    std::error_code ec;
+    fs::remove(distrib::resultPath(kQueue, 1, 2), ec);
+    CHECK(!distrib::studyComplete(kQueue, manifest));
+    CHECK(!distrib::mergeStudy(kQueue, manifest, &error).has_value());
+    CHECK(!error.empty());
+}
+
+void
+testClaimsDuplicatesAndRecovery()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("chase-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {config}, sc, length, 4);
+    core::CheckpointStore store(kStore);
+    distrib::ensureStudyStore(store, manifest);
+    const core::SmartsEstimate serial = serialRun(spec, config, sc);
+
+    // Claim exclusivity: of two claimants exactly one wins.
+    resetQueue(manifest);
+    CHECK(distrib::claimJob(kQueue, 0, 0, "first"));
+    CHECK(!distrib::claimJob(kQueue, 0, 0, "second"));
+
+    // Duplicate execution is benign: two runners that both execute
+    // the same job publish BYTE-IDENTICAL result files (that is
+    // what makes lost claim races and stale-claim stealing safe).
+    {
+        distrib::Runner a(kQueue, kStore, {"dup-a", -1.0});
+        distrib::Runner b(kQueue, kStore, {"dup-b", -1.0});
+        const distrib::ShardResult ra = a.execute(manifest, 0, 1);
+        const distrib::ShardResult rb = b.execute(manifest, 0, 1);
+        util::BinaryWriter wa, wb;
+        ra.serialize(wa);
+        rb.serialize(wb);
+        CHECK(wa.buffer() == wb.buffer());
+
+        std::string error;
+        CHECK(distrib::publishResult(kQueue, ra, &error));
+        const std::vector<std::uint8_t> first =
+            readFileBytes(distrib::resultPath(kQueue, 0, 1));
+        CHECK(distrib::publishResult(kQueue, rb, &error));
+        CHECK(readFileBytes(distrib::resultPath(kQueue, 0, 1)) ==
+              first);
+    }
+
+    // Abandoned-claim recovery: a crashed runner's claim (no
+    // result behind it) blocks nothing once the stale window
+    // passes.
+    resetQueue(manifest);
+    CHECK(distrib::claimJob(kQueue, 0, 2, "crashed-runner"));
+
+    // A polite runner (no stealing) completes everything EXCEPT the
+    // abandoned job, and the merge refuses the incomplete study.
+    distrib::Runner polite(kQueue, kStore, {"polite", -1.0});
+    CHECK_EQ(polite.drain(manifest), manifest.jobCount() - 1);
+    std::string error;
+    CHECK(!distrib::mergeStudy(kQueue, manifest, &error).has_value());
+
+    // A recovery runner with a zero stale window steals the
+    // abandoned claim; now the study completes and merges
+    // bit-identically to serial.
+    distrib::Runner recovery(kQueue, kStore, {"recovery", 0.0});
+    CHECK_EQ(recovery.drain(manifest), std::size_t(1));
+    const auto merged = distrib::mergeStudy(kQueue, manifest, &error);
+    CHECK(merged.has_value());
+    CHECK(fingerprint(merged->front()) == fingerprint(serial));
+
+    // Poisoned-result recovery: a "complete" study with a corrupt
+    // result file refuses a bare merge — and would refuse forever,
+    // since claims treat an existing result as done. The leader's
+    // collect loop must quarantine the file and get the job
+    // re-executed rather than wedge.
+    {
+        const std::string victim = distrib::resultPath(kQueue, 0, 1);
+        std::vector<std::uint8_t> bytes = readFileBytes(victim);
+        bytes[bytes.size() / 2] ^= 0x08;
+        writeFileBytes(victim, bytes);
+        CHECK(distrib::studyComplete(kQueue, manifest));
+        CHECK(!distrib::mergeStudy(kQueue, manifest, &error)
+                   .has_value());
+
+        distrib::Runner healer(kQueue, kStore, {"healer", -1.0});
+        const auto healed = distrib::collectStudy(
+            kQueue, manifest, /*timeoutSeconds=*/300.0, &healer,
+            &error);
+        CHECK(healed.has_value());
+        CHECK(fingerprint(healed->front()) == fingerprint(serial));
+    }
+}
+
+void
+testStorePlanMismatchFallback()
+{
+    // A store whose library was captured under a DIFFERENT shard
+    // plan (e.g. an earlier in-process run with another shard
+    // count) must not derail a runner: it recaptures with the
+    // manifest's plan in memory and still produces bit-identical
+    // results.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("stream-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, config);
+
+    // Populate the store with a 7-shard plan...
+    {
+        exec::ThreadPool pool(2);
+        core::CheckpointStore store(kStore);
+        auto factory = [&spec, &config] {
+            return std::make_unique<core::SimSession>(spec, config);
+        };
+        core::SystematicSampler(sc).runSharded(factory, spec, config,
+                                               length, 7, pool,
+                                               store);
+    }
+
+    // ...and run a 3-shard study against it WITHOUT the leader
+    // re-shipping the store.
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {config}, sc, length, 3);
+    resetQueue(manifest);
+    distrib::Runner runner(kQueue, kStore, {"fallback", -1.0});
+    CHECK_EQ(runner.drain(manifest), manifest.jobCount());
+
+    std::string error;
+    const auto merged = distrib::mergeStudy(kQueue, manifest, &error);
+    CHECK(merged.has_value());
+    CHECK(fingerprint(merged->front()) ==
+          fingerprint(serialRun(spec, config, sc)));
+
+    // ensureStudyStore, by contrast, RE-captures the key so shipped
+    // stores always match the manifest plan.
+    core::CheckpointStore store(kStore);
+    CHECK_EQ(distrib::ensureStudyStore(store, manifest),
+             std::size_t(1));
+    CHECK_EQ(distrib::ensureStudyStore(store, manifest),
+             std::size_t(0));
+
+    // A REFUSED store file (corrupt in transit) is repaired by the
+    // runner's fallback capture — without the repair every later
+    // study for the key would pay the recapture again.
+    {
+        const std::string libPath =
+            store.pathFor(manifest.keyFor(0));
+        std::vector<std::uint8_t> bytes = readFileBytes(libPath);
+        bytes[bytes.size() / 2] ^= 0x04;
+        writeFileBytes(libPath, bytes);
+        CHECK(!store.tryLoad(manifest.keyFor(0)).has_value());
+
+        resetQueue(manifest);
+        distrib::Runner repairer(kQueue, kStore, {"repairer", -1.0});
+        CHECK_EQ(repairer.drain(manifest), manifest.jobCount());
+        CHECK(store.tryLoad(manifest.keyFor(0)).has_value());
+        std::string error;
+        const auto healed =
+            distrib::mergeStudy(kQueue, manifest, &error);
+        CHECK(healed.has_value());
+        CHECK(fingerprint(healed->front()) ==
+              fingerprint(serialRun(spec, config, sc)));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    fs::remove_all(kQueue);
+    fs::remove_all(kStore);
+    fs::create_directories(kQueue);
+    fs::create_directories(kStore);
+
+    testManifestRoundtripAndRefusals();
+    testResultRoundtripAndRefusals();
+    testMergeBitIdentityAtRunnerCounts();
+    testClaimsDuplicatesAndRecovery();
+    testStorePlanMismatchFallback();
+    TEST_MAIN_SUMMARY();
+}
