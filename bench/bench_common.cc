@@ -48,6 +48,8 @@ parseOptions(int argc, char **argv, bool default_quick,
             opt.storePath = v6;
         } else if (const char *v7 = value("--runner-bin=")) {
             opt.runnerBin = v7;
+        } else if (const char *v8 = value("--json=")) {
+            opt.jsonPath = v8;
         } else if (arg == "--benchmark_format" ||
                    arg.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark-style flags when invoked by
@@ -56,7 +58,7 @@ parseOptions(int argc, char **argv, bool default_quick,
             SMARTS_FATAL("unknown flag '", arg,
                          "' (supported: --scale=, --suite=, "
                          "--machine=, --csv=, --section=, "
-                         "--store=, --runner-bin=)");
+                         "--store=, --runner-bin=, --json=)");
         }
     }
     return opt;

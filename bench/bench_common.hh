@@ -17,6 +17,10 @@
  *                              that launch runner subprocesses
  *                              (default: <bench dir>/../tools/
  *                              smarts_runner)
+ *   --json=<path>              machine-readable perf artifact for
+ *                              benches that emit one (e.g. the
+ *                              livepoint section's
+ *                              BENCH_livepoints.json)
  */
 
 #ifndef SMARTS_BENCH_COMMON_HH
@@ -46,6 +50,7 @@ struct BenchOptions
     std::string section; ///< empty = every section of the bench.
     std::string storePath; ///< checkpoint-store root (--store=).
     std::string runnerBin; ///< smarts_runner override (--runner-bin=).
+    std::string jsonPath;  ///< perf-artifact output path (--json=).
     std::string argv0;     ///< the bench binary's own path.
 
     std::vector<workloads::BenchmarkSpec>

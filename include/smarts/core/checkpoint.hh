@@ -132,6 +132,13 @@ struct LibraryKey
     /** Filesystem-safe file name encoding the sampling + geometry. */
     std::string fileName() const;
 
+    /**
+     * File name of the key's LIVE-POINT library (core/livepoint.hh):
+     * same stem, `.smlp` extension — both flavors of warm state for
+     * a key sit side by side in its store directory.
+     */
+    std::string livePointFileName() const;
+
     /** Empty when equal; else which component diverges (for logs). */
     std::string mismatchAgainst(const LibraryKey &other) const;
 };

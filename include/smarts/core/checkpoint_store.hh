@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/checkpoint.hh"
+#include "core/livepoint.hh"
 
 namespace smarts::core {
 
@@ -93,6 +94,40 @@ class CheckpointStore
                        const std::vector<uarch::MachineConfig> &configs,
                        const SamplingConfig &sampling,
                        const std::vector<ShardSpec> &plan) const;
+
+    /**
+     * Path of @p key's LIVE-POINT library (core/livepoint.hh): same
+     * directory and stem as the shard library, `.smlp` extension.
+     */
+    std::string livePointPathFor(const LibraryKey &key) const;
+
+    /**
+     * Load and fully validate @p key's live-point library, with the
+     * same miss semantics as tryLoad: a missing file is a silent
+     * miss, an existing file that refuses is a miss with the
+     * diagnostic — naming the failing record or mismatched key
+     * component — in @p error.
+     */
+    std::optional<LivePointLibrary>
+    tryLoadLivePoints(const LibraryKey &key,
+                      std::string *error = nullptr) const;
+
+    /** Persist @p library under @p key (atomic publish). */
+    bool saveLivePoints(const LivePointLibrary &library,
+                        const LibraryKey &key,
+                        std::string *error = nullptr) const;
+
+    /**
+     * Make sure a live-point library exists for every config of an
+     * N-config study, capturing ALL misses in ONE MultiSession
+     * streaming pass (LivePointLibrary::buildMulti), deduplicating
+     * geometry-equal configs exactly as ensure() does. Returns the
+     * number of libraries captured (0 = every config was stored).
+     */
+    std::size_t
+    ensureLivePoints(const workloads::BenchmarkSpec &spec,
+                     const std::vector<uarch::MachineConfig> &configs,
+                     const SamplingConfig &sampling) const;
 
   private:
     std::size_t ensureImpl(

@@ -116,6 +116,28 @@ class SmartsProcedure
                                     CheckpointStore &store) const;
 
     /**
+     * ANYTIME alternative to the two-pass recipe, built on
+     * live-points (core/livepoint.hh): ensure @p store holds a
+     * live-point library for the densest nInit-unit design this
+     * procedure would consider (capturing one streaming pass on a
+     * miss, persisting it for every later run), then measure units
+     * in seeded-shuffle order on @p pool and stop the moment the
+     * configured confidence target is met
+     * (SystematicSampler::runAnytime). Where the two-pass recipe
+     * commits to n_tuned up front — overshooting when V-hat was
+     * pessimistic — the anytime estimator pays for exactly the
+     * units the stream's variance demands, and a warm store makes
+     * a config sweep's marginal cost just those measured units.
+     */
+    AnytimeResult
+    estimateAnytime(const SessionFactory &factory,
+                    const workloads::BenchmarkSpec &spec,
+                    const uarch::MachineConfig &machine,
+                    std::uint64_t streamLength,
+                    exec::ThreadPool &pool, CheckpointStore &store,
+                    std::uint64_t seed = 1) const;
+
+    /**
      * Matched multi-config variant: one functional-warming stream
      * per pass feeds every config. n_tuned is sized from the worst
      * per-config V-hat, so the rerun (when needed) brings every

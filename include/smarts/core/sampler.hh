@@ -32,6 +32,7 @@ namespace smarts::core {
 
 class CheckpointLibrary;
 class CheckpointStore;
+class LivePointLibrary;
 struct ShardSpec;
 
 /** Builds a fresh session at stream start (thread-safe, reentrant). */
@@ -290,6 +291,59 @@ struct MatchedEstimate
     }
 };
 
+/** Knobs of the anytime estimator (SystematicSampler::runAnytime). */
+struct AnytimeOptions
+{
+    /**
+     * Stop once the streaming CPI confidence interval at
+     * target.level reaches +/- target.epsilon of the mean (Eq. 2).
+     * epsilon = 0 never stops early: the run measures every
+     * live-point, which is the completion mode whose estimate is
+     * bit-identical to the serial run()'s.
+     */
+    stats::ConfidenceSpec target{};
+
+    /** Seed of the deterministic measurement-order shuffle. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Units measured before the stop rule may fire: the CI is a CLT
+     * statement and needs a minimum sample behind it (the paper
+     * samples thousands; 32 is a floor, not a recommendation).
+     */
+    std::uint64_t minUnits = 32;
+
+    /**
+     * Units measured between stop-rule evaluations. Decisions happen
+     * only at batch boundaries — data-independent cut points — so
+     * the measured set is identical at any thread count.
+     */
+    std::uint64_t batch = 64;
+
+    /**
+     * Consecutive shuffle-order units per pool job: each job builds
+     * ONE session and restores it per unit, amortizing session
+     * construction without affecting the result (restore replaces
+     * the full state). Purely a scheduling knob.
+     */
+    std::uint64_t chunk = 8;
+};
+
+/** What the anytime estimator produced and how hard it worked. */
+struct AnytimeResult
+{
+    SmartsEstimate estimate;
+
+    /** Live-points in the library (the fixed-n design's n). */
+    std::uint64_t unitsAvailable = 0;
+
+    /** Live-points actually measured (= n when run to completion). */
+    std::uint64_t unitsMeasured = 0;
+
+    /** True when the confidence target fired before completion. */
+    bool earlyStopped = false;
+};
+
 class SystematicSampler
 {
   public:
@@ -383,6 +437,27 @@ class SystematicSampler
                               std::size_t shards,
                               exec::ThreadPool &pool,
                               CheckpointStore &store) const;
+
+    /**
+     * The third execution mode — ANYTIME over a live-point library
+     * (core/livepoint.hh): measure units in the seeded-shuffle order
+     * of @p options, in parallel across @p pool, feeding a streaming
+     * OnlineStats confidence interval, and stop at the first batch
+     * boundary where the target of @p options is met. The final
+     * estimate is folded DETERMINISTICALLY — the measured units'
+     * observations are replayed in stream order through the
+     * accumulators, never OnlineStats::merge — so the result is
+     * bit-identical at any thread count, and a run driven to
+     * completion (options.target.epsilon = 0, or a target the
+     * stream's variance cannot meet) equals the serial run()'s
+     * estimate byte for byte (ctest-enforced by
+     * tests/test_livepoint.cc). The library must have been built
+     * with this sampler's SamplingConfig (fatal otherwise).
+     */
+    AnytimeResult runAnytime(const SessionFactory &factory,
+                             const LivePointLibrary &library,
+                             exec::ThreadPool &pool,
+                             const AnytimeOptions &options = {}) const;
 
   private:
     /** The cold pipelined path; @p collect (optional) receives the

@@ -88,11 +88,17 @@ mergeStudy(const std::string &dir, const JobManifest &manifest,
  * and its job re-executed, so one poisoned file cannot wedge a live
  * study; the timeout still bounds everything. Nullopt with a
  * diagnostic on timeout or unrecoverable refusal.
+ *
+ * @p pollMillis seeds the idle-poll backoff (PollBackoff): polls
+ * start that far apart and double toward ~1 s while nothing
+ * changes, resetting whenever the helper makes progress or a
+ * refused result is quarantined.
  */
 std::optional<std::vector<core::SmartsEstimate>>
 collectStudy(const std::string &dir, const JobManifest &manifest,
              double timeoutSeconds, Runner *helper = nullptr,
-             std::string *error = nullptr);
+             std::string *error = nullptr,
+             double pollMillis = 100.0);
 
 } // namespace smarts::distrib
 

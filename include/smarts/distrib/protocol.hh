@@ -22,6 +22,7 @@
 #ifndef SMARTS_DISTRIB_PROTOCOL_HH
 #define SMARTS_DISTRIB_PROTOCOL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -169,6 +170,58 @@ bool claimJob(const std::string &dir, std::uint32_t config,
 /** Publish @p result into @p dir (atomic temp+rename). */
 bool publishResult(const std::string &dir, const ShardResult &result,
                    std::string *error = nullptr);
+
+/**
+ * Exponential poll backoff for the protocol's wait loops (the
+ * leader's result collection, the runner's manifest wait). Polling a
+ * shared filesystem is not free — on NFS every exists() is a round
+ * trip, and a fixed 100 ms cadence from every participant of a
+ * large study hammers the server exactly when nothing is changing.
+ * The delay starts at initialMs, doubles per idle poll, and caps at
+ * capMs (~1 s keeps worst-case added latency humane); any sign of
+ * progress resets it to the initial value so an active queue is
+ * polled eagerly again.
+ */
+class PollBackoff
+{
+  public:
+    explicit PollBackoff(double initialMs = 100.0,
+                         double capMs = 1000.0)
+        : initialMs_(initialMs > 0.0 ? initialMs : 1.0),
+          capMs_(capMs > initialMs_ ? capMs : initialMs_),
+          currentMs_(initialMs_)
+    {
+    }
+
+    /** Delay to sleep before the next poll, milliseconds. */
+    double
+    currentMs() const
+    {
+        return currentMs_;
+    }
+
+    /** Record an idle poll: returns the delay to sleep now, then
+     *  doubles it toward the cap. */
+    double
+    nextMs()
+    {
+        const double delay = currentMs_;
+        currentMs_ = std::min(currentMs_ * 2.0, capMs_);
+        return delay;
+    }
+
+    /** Record progress: poll eagerly again. */
+    void
+    reset()
+    {
+        currentMs_ = initialMs_;
+    }
+
+  private:
+    double initialMs_;
+    double capMs_;
+    double currentMs_;
+};
 
 } // namespace smarts::distrib
 

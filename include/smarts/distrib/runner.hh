@@ -51,11 +51,13 @@ class Runner
     /**
      * Poll for the leader's manifest for up to @p waitSeconds.
      * Nullopt when none appeared in time or the file refused to
-     * load (diagnostic in @p error).
+     * load (diagnostic in @p error). @p pollMillis seeds the
+     * idle-poll backoff (PollBackoff): polls start that far apart
+     * and double toward ~1 s while the manifest stays absent.
      */
     std::optional<JobManifest>
-    awaitManifest(double waitSeconds,
-                  std::string *error = nullptr) const;
+    awaitManifest(double waitSeconds, std::string *error = nullptr,
+                  double pollMillis = 100.0) const;
 
     /**
      * One sweep over the (config × shard) job grid: claim every

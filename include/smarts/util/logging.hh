@@ -1,8 +1,10 @@
 /**
  * @file
  * Minimal logging helpers: SMARTS_FATAL aborts with a formatted
- * message, SMARTS_LOG writes a tagged line to stderr. Both accept a
- * comma-separated list of streamable arguments.
+ * message, SMARTS_WARN flags a recoverable-but-costly event (a
+ * capture fallback, a store refusal) and SMARTS_LOG writes a tagged
+ * informational line to stderr. All accept a comma-separated list of
+ * streamable arguments.
  */
 
 #ifndef SMARTS_UTIL_LOGGING_HH
@@ -51,5 +53,14 @@ fatal(const std::string &message)
 #define SMARTS_LOG(...)                                                 \
     (std::cerr << "smarts: " << ::smarts::log::format(__VA_ARGS__)      \
                << std::endl)
+
+/**
+ * Warn level: the run proceeds, but something the user relies on for
+ * performance or reuse (a persisted library, a store hit) fell back
+ * to a slower path — worth surfacing above the informational noise.
+ */
+#define SMARTS_WARN(...)                                                \
+    (std::cerr << "smarts: warning: "                                   \
+               << ::smarts::log::format(__VA_ARGS__) << std::endl)
 
 #endif // SMARTS_UTIL_LOGGING_HH

@@ -180,17 +180,33 @@ LibraryKey::dirName() const
                        scaleName(benchmark.scale));
 }
 
+namespace {
+
 std::string
-LibraryKey::fileName() const
+keyFileStem(const LibraryKey &key)
 {
     char hash[17];
     std::snprintf(hash, sizeof hash, "%016llx",
-                  static_cast<unsigned long long>(geometryHash));
-    return log::format("U", sampling.unitSize, "_W",
-                       sampling.detailedWarming, "_k",
-                       sampling.interval, "_j", sampling.offset, "_",
-                       warmingName(sampling.warming), "_g", hash,
-                       ".smck");
+                  static_cast<unsigned long long>(key.geometryHash));
+    return log::format("U", key.sampling.unitSize, "_W",
+                       key.sampling.detailedWarming, "_k",
+                       key.sampling.interval, "_j",
+                       key.sampling.offset, "_",
+                       warmingName(key.sampling.warming), "_g", hash);
+}
+
+} // namespace
+
+std::string
+LibraryKey::fileName() const
+{
+    return keyFileStem(*this) + ".smck";
+}
+
+std::string
+LibraryKey::livePointFileName() const
+{
+    return keyFileStem(*this) + ".smlp";
 }
 
 std::string
@@ -219,10 +235,19 @@ LibraryKey::mismatchAgainst(const LibraryKey &other) const
             ", expected: U", sampling.unitSize, "/W",
             sampling.detailedWarming, "/k", sampling.interval, "/j",
             sampling.offset, ")");
-    if (geometryHash != other.geometryHash)
-        return "config-geometry hash mismatch (the machine's "
-               "caches/TLBs/predictor differ from the capture "
-               "machine's)";
+    if (geometryHash != other.geometryHash) {
+        char fileHash[17], wantHash[17];
+        std::snprintf(fileHash, sizeof fileHash, "%016llx",
+                      static_cast<unsigned long long>(
+                          other.geometryHash));
+        std::snprintf(wantHash, sizeof wantHash, "%016llx",
+                      static_cast<unsigned long long>(geometryHash));
+        return log::format(
+            "config-geometry hash mismatch (file: ", fileHash,
+            ", expected: ", wantHash,
+            " — the machine's caches/TLBs/predictor differ from "
+            "the capture machine's)");
+    }
     return {};
 }
 

@@ -104,12 +104,12 @@ CheckpointStore::ensureImpl(
                 tryLoad(key, &error)) {
             if (!requirePlanMatch || library->plan() == plan)
                 continue;
-            SMARTS_LOG("checkpoint store: ", pathFor(key),
-                       " holds a different shard plan; recapturing "
-                       "with the required one");
+            SMARTS_WARN("checkpoint store: ", pathFor(key),
+                        " holds a different shard plan; recapturing "
+                        "with the required one");
         } else if (!error.empty()) {
-            SMARTS_LOG("checkpoint store: recapturing (", error,
-                       ")");
+            SMARTS_WARN("checkpoint store: recapturing (", error,
+                        ")");
         }
         bool duplicate = false;
         for (const LibraryKey &seen : missingKeys)
@@ -136,6 +136,84 @@ CheckpointStore::ensureImpl(
         if (!save(missingKeys[i], libraries[i], &error))
             SMARTS_FATAL("checkpoint store: cannot save ",
                          pathFor(missingKeys[i]), ": ", error);
+    }
+    return libraries.size();
+}
+
+std::string
+CheckpointStore::livePointPathFor(const LibraryKey &key) const
+{
+    return (fs::path(root_) / key.dirName() /
+            key.livePointFileName())
+        .string();
+}
+
+std::optional<LivePointLibrary>
+CheckpointStore::tryLoadLivePoints(const LibraryKey &key,
+                                   std::string *error) const
+{
+    if (error)
+        error->clear();
+    const std::string path = livePointPathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt; // plain miss, no diagnostic.
+    return LivePointLibrary::load(path, key, error);
+}
+
+bool
+CheckpointStore::saveLivePoints(const LivePointLibrary &library,
+                                const LibraryKey &key,
+                                std::string *error) const
+{
+    return library.save(key, livePointPathFor(key), error);
+}
+
+std::size_t
+CheckpointStore::ensureLivePoints(
+    const workloads::BenchmarkSpec &spec,
+    const std::vector<uarch::MachineConfig> &configs,
+    const SamplingConfig &sampling) const
+{
+    // Same miss/dedup policy as ensureImpl: "present" means a
+    // library that actually LOADS, and geometry-equal configs share
+    // one capture.
+    std::vector<const uarch::MachineConfig *> missing;
+    std::vector<LibraryKey> missingKeys;
+    for (const uarch::MachineConfig &config : configs) {
+        const LibraryKey key = LibraryKey::of(spec, config, sampling);
+        std::string error;
+        if (tryLoadLivePoints(key, &error))
+            continue;
+        if (!error.empty())
+            SMARTS_WARN("checkpoint store: recapturing live-points "
+                        "(", error, ")");
+        bool duplicate = false;
+        for (const LibraryKey &seen : missingKeys)
+            duplicate |= seen.geometryHash == key.geometryHash;
+        if (duplicate)
+            continue;
+        missing.push_back(&config);
+        missingKeys.push_back(key);
+    }
+    if (missing.empty())
+        return 0;
+
+    std::vector<uarch::MachineConfig> captureConfigs;
+    captureConfigs.reserve(missing.size());
+    for (const uarch::MachineConfig *config : missing)
+        captureConfigs.push_back(*config);
+
+    MultiSession session(spec, captureConfigs);
+    const std::vector<LivePointLibrary> libraries =
+        LivePointLibrary::buildMulti(session, sampling);
+
+    for (std::size_t i = 0; i < libraries.size(); ++i) {
+        std::string error;
+        if (!saveLivePoints(libraries[i], missingKeys[i], &error))
+            SMARTS_FATAL("checkpoint store: cannot save ",
+                         livePointPathFor(missingKeys[i]), ": ",
+                         error);
     }
     return libraries.size();
 }

@@ -1,0 +1,426 @@
+#include "core/livepoint.hh"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "exec/thread_pool.hh"
+#include "util/delta_codec.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace smarts::core {
+
+namespace {
+
+/** File magic: 8 bytes, version-independent, distinct from .smck. */
+constexpr char kMagic[8] = {'S', 'M', 'R', 'T',
+                            'L', 'V', 'P', 'T'};
+
+/** Same probe as the v1 format (docs/checkpoint-format.md). */
+constexpr std::uint32_t kEndianMark = 0x01020304u;
+
+/**
+ * The serial sampling schedule with state-equivalent warming, as in
+ * the shard capture pass (core/checkpoint.cc), but snapping at EVERY
+ * measured unit's iteration start — after the inter-unit gap is
+ * fast-forwarded, before detailed warming — which is exactly where
+ * the serial loop's state equals the capture pass's. After the last
+ * unit the stream is run out so the caller learns the true dynamic
+ * length. Works for SimSession and MultiSession: both expose the
+ * same stepping surface.
+ */
+template <typename Session, typename Snap>
+std::uint64_t
+liveCaptureSchedule(Session &session, const SamplingConfig &config,
+                    Snap &&snap)
+{
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t w = config.detailedWarming;
+    const std::uint64_t k = config.interval;
+    if (!u || !k)
+        SMARTS_FATAL("live-point capture needs nonzero unit size "
+                     "and interval");
+
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
+
+    while (!session.finished()) {
+        if (unitIdx > ~0ull / u)
+            break;
+        const std::uint64_t unitStart = unitIdx * u;
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config.warming);
+            if (session.finished())
+                break;
+        }
+        // The serial loop iterates this unit (possibly truncated):
+        // snapshot its resume state.
+        snap(unitIdx);
+
+        if (unitStart > pos)
+            pos += session.warmAsDetailed(unitStart - pos);
+        pos += session.warmAsDetailed(u);
+        unitIdx += k;
+    }
+
+    // Run out the tail so streamLength is the true benchmark length.
+    while (!session.finished())
+        session.fastForward(~0ull >> 1, config.warming);
+    return session.instCount();
+}
+
+/** One unit's raw measurement, before deterministic folding. */
+struct UnitSample
+{
+    UnitObservation obs{};
+    bool hasObs = false;
+    std::uint64_t measured = 0;
+    std::uint64_t warmed = 0;
+    std::uint64_t dropped = 0;
+};
+
+/**
+ * Replay one live-point: restore, detailed-warm up to the unit
+ * start, measure U — the serial loop's per-iteration body
+ * (core/sampler.cc runSliceRange) starting from the snapshot, with
+ * the identical accounting, truncation cases included.
+ */
+void
+measureLivePoint(SimSession &session, const SamplingConfig &config,
+                 const LivePoint &point, UnitSample &out)
+{
+    session.restoreState(point.arch, point.timing);
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t unitStart = point.unitIndex * u;
+    std::uint64_t pos = point.position;
+
+    out = UnitSample{};
+    if (unitStart > pos) {
+        const Segment warm = session.detailedRun(unitStart - pos);
+        out.warmed = warm.instructions;
+        pos += warm.instructions;
+    }
+    // When warming hit the end of the stream this runs on a finished
+    // session and yields a zero segment — the serial loop broke
+    // before measuring, and 0 dropped instructions matches it.
+    const Segment seg = session.detailedRun(u);
+    if (seg.instructions == u) {
+        out.hasObs = true;
+        out.obs = {static_cast<double>(seg.cycles) /
+                       static_cast<double>(u),
+                   seg.energyNj /
+                       static_cast<double>(seg.instructions)};
+        out.measured = u;
+    } else {
+        out.dropped = seg.instructions;
+    }
+}
+
+/** Raw serialized state of one live-point (the delta chain's unit). */
+std::vector<std::uint8_t>
+rawStateOf(const LivePoint &point)
+{
+    util::BinaryWriter raw;
+    point.arch.write(raw);
+    point.timing.write(raw);
+    return raw.buffer();
+}
+
+} // namespace
+
+LivePointLibrary
+LivePointLibrary::build(SimSession &session,
+                        const SamplingConfig &config)
+{
+    LivePointLibrary library;
+    library.config_ = config;
+    library.streamLength_ = liveCaptureSchedule(
+        session, config, [&](std::uint64_t unitIdx) {
+            LivePoint point;
+            session.saveState(point.arch, point.timing);
+            point.position = session.instCount();
+            point.unitIndex = unitIdx;
+            library.points_.push_back(std::move(point));
+        });
+    return library;
+}
+
+std::vector<LivePointLibrary>
+LivePointLibrary::buildMulti(MultiSession &session,
+                             const SamplingConfig &config)
+{
+    std::vector<LivePointLibrary> libraries(session.configCount());
+    for (LivePointLibrary &library : libraries)
+        library.config_ = config;
+
+    ArchState arch;
+    std::vector<TimingState> timings;
+    const std::uint64_t length = liveCaptureSchedule(
+        session, config, [&](std::uint64_t unitIdx) {
+            // One architectural snapshot, one timing snapshot per
+            // config: library c gets exactly the live-point a
+            // single-config capture of config c would have taken.
+            session.saveState(arch, timings);
+            for (std::size_t c = 0; c < libraries.size(); ++c) {
+                LivePoint point;
+                point.arch = arch;
+                point.timing = std::move(timings[c]);
+                point.position = session.instCount();
+                point.unitIndex = unitIdx;
+                libraries[c].points_.push_back(std::move(point));
+            }
+        });
+    for (LivePointLibrary &library : libraries)
+        library.streamLength_ = length;
+    return libraries;
+}
+
+void
+LivePointLibrary::serialize(const LibraryKey &key,
+                            util::BinaryWriter &out) const
+{
+    for (const char c : kMagic)
+        out.u8(static_cast<std::uint8_t>(c));
+    out.u32(kLivePointFormatVersion);
+    out.u32(kEndianMark);
+    key.write(out);
+
+    out.u64(streamLength_);
+    out.u64(points_.size());
+    std::vector<std::uint8_t> prev;
+    for (const LivePoint &point : points_) {
+        const std::vector<std::uint8_t> raw = rawStateOf(point);
+        out.u64(point.unitIndex);
+        out.u64(point.position);
+        // Checksum of the DECODED state: corruption anywhere in the
+        // delta chain is pinned to the record where it breaks.
+        out.u64(util::fnv1a(raw.data(), raw.size()));
+        out.vecU8(util::deltaEncode(prev, raw));
+        prev = raw;
+    }
+}
+
+bool
+LivePointLibrary::save(const LibraryKey &key, const std::string &path,
+                       std::string *error) const
+{
+    util::BinaryWriter out;
+    serialize(key, out);
+    return out.writeFile(path, error);
+}
+
+std::optional<LivePointLibrary>
+LivePointLibrary::load(const std::string &path,
+                       const LibraryKey &expect, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    std::string ioError;
+    util::BinaryReader in =
+        util::BinaryReader::fromFile(path, &ioError);
+    if (in.failed())
+        return refuse(std::move(ioError));
+
+    for (const char c : kMagic)
+        if (in.u8() != static_cast<std::uint8_t>(c))
+            return refuse(log::format(
+                path, " is not a smarts live-point library"));
+    const std::uint32_t version = in.u32();
+    if (version != kLivePointFormatVersion)
+        return refuse(log::format(
+            path, " is format version ", version,
+            "; this build reads version ", kLivePointFormatVersion));
+    if (in.u32() != kEndianMark)
+        return refuse(log::format(path,
+                                  " has a bad endianness marker"));
+
+    const LibraryKey stored = LibraryKey::read(in);
+    const std::string mismatch = expect.mismatchAgainst(stored);
+    if (!mismatch.empty())
+        return refuse(log::format(path, ": ", mismatch));
+    if (!stored.sampling.unitSize || !stored.sampling.interval)
+        return refuse(log::format(
+            path, " is corrupt (zero unit size or interval)"));
+
+    LivePointLibrary library;
+    library.config_ = stored.sampling;
+    library.streamLength_ = in.u64();
+    const std::uint64_t count = in.u64();
+    // An absurd count means a corrupt length field the checksum
+    // somehow missed; bound it by what the payload could hold.
+    if (in.failed() || count > in.remaining())
+        return refuse(log::format(
+            path, " is corrupt (live-point count ", count, ")"));
+
+    library.points_.resize(count);
+    std::vector<std::uint8_t> prev;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        LivePoint &point = library.points_[i];
+        point.unitIndex = in.u64();
+        point.position = in.u64();
+        const std::uint64_t checksum = in.u64();
+        const std::vector<std::uint8_t> delta = in.vecU8();
+        if (in.failed())
+            return refuse(log::format(
+                path, " is truncated or has trailing garbage"));
+
+        std::string deltaError;
+        const auto raw = util::deltaDecode(prev, delta, &deltaError);
+        if (!raw)
+            return refuse(log::format(path, " is corrupt (live-point ",
+                                      i, ": ", deltaError, ")"));
+        if (util::fnv1a(raw->data(), raw->size()) != checksum)
+            return refuse(log::format(
+                path, " is corrupt (live-point ", i,
+                " fails its state checksum)"));
+
+        util::BinaryReader state(*raw);
+        point.arch.read(state);
+        point.timing.read(state);
+        if (state.failed() || state.remaining() != 0)
+            return refuse(log::format(
+                path, " is corrupt (live-point ", i,
+                " has a malformed state)"));
+
+        // The grid is implied by the key: record i resumes unit
+        // offset + i*k, at or before the unit's start, positions
+        // nondecreasing. A well-checksummed file with records off
+        // the grid would MIS-MEASURE instead of failing loudly.
+        const std::uint64_t wantIdx =
+            stored.sampling.offset + i * stored.sampling.interval;
+        const bool onGrid =
+            point.unitIndex == wantIdx &&
+            point.unitIndex <= ~0ull / stored.sampling.unitSize &&
+            point.position <=
+                point.unitIndex * stored.sampling.unitSize &&
+            (i == 0 ||
+             point.position >= library.points_[i - 1].position) &&
+            point.position <= library.streamLength_;
+        if (!onGrid)
+            return refuse(log::format(
+                path, " is corrupt (live-point ", i,
+                " is off the sampling grid)"));
+        prev = *raw;
+    }
+    if (in.failed() || in.remaining() != 0)
+        return refuse(log::format(
+            path, " is truncated or has trailing garbage"));
+    return library;
+}
+
+AnytimeResult
+SystematicSampler::runAnytime(const SessionFactory &factory,
+                              const LivePointLibrary &library,
+                              exec::ThreadPool &pool,
+                              const AnytimeOptions &options) const
+{
+    if (!factory)
+        SMARTS_FATAL("runAnytime needs a session factory");
+    const SamplingConfig &built = library.samplingConfig();
+    if (built.unitSize != config_.unitSize ||
+        built.detailedWarming != config_.detailedWarming ||
+        built.interval != config_.interval ||
+        built.offset != config_.offset ||
+        built.warming != config_.warming)
+        SMARTS_FATAL("live-point library was built for a different "
+                     "sampling design");
+
+    const std::size_t n = library.unitCount();
+
+    // Seeded Fisher-Yates: the measurement order is a pure function
+    // of (seed, n), so a rerun — on any machine, at any thread
+    // count — measures the identical unit sequence.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    Xoshiro256StarStar rng(options.seed);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    const SamplingConfig config = config_;
+    const std::uint64_t batch = options.batch ? options.batch : 1;
+    const std::uint64_t chunk = options.chunk ? options.chunk : 1;
+
+    std::vector<UnitSample> samples(n);
+    stats::OnlineStats shuffled; // CPI in shuffle order: stop rule only.
+    std::size_t processed = 0;
+    bool stopped = false;
+
+    while (processed < n && !stopped) {
+        const std::size_t end =
+            std::min<std::size_t>(n, processed + batch);
+        // Each chunk job owns one session and writes only its own
+        // units' slots; pool.wait() publishes them all, so the batch
+        // is bit-identical at any thread count.
+        for (std::size_t c = processed; c < end; c += chunk) {
+            const std::size_t cEnd =
+                std::min<std::size_t>(end, c + chunk);
+            pool.submit([&samples, &order, &library, &factory, config,
+                         c, cEnd] {
+                std::unique_ptr<SimSession> session = factory();
+                for (std::size_t i = c; i < cEnd; ++i)
+                    measureLivePoint(*session, config,
+                                     library.at(order[i]),
+                                     samples[order[i]]);
+            });
+        }
+        pool.wait();
+
+        // The stop rule sees observations in SHUFFLE order — the
+        // randomized order is what makes the prefix an unbiased
+        // sample of the unit population at every cut point.
+        for (std::size_t i = processed; i < end; ++i) {
+            const UnitSample &sample = samples[order[i]];
+            if (sample.hasObs)
+                shuffled.add(sample.obs.cpi);
+        }
+        processed = end;
+
+        if (options.target.epsilon > 0.0 &&
+            shuffled.count() >= options.minUnits &&
+            stats::confidenceHalfWidth(shuffled.cv(),
+                                       shuffled.count(),
+                                       options.target.level) <=
+                options.target.epsilon)
+            stopped = true;
+    }
+
+    // Deterministic fold: replay the measured units' observations in
+    // STREAM order through the accumulators — replay, never
+    // OnlineStats::merge (Chan's merge rounds differently), so a
+    // completed run equals the serial run() byte for byte.
+    std::vector<bool> taken(n, false);
+    for (std::size_t i = 0; i < processed; ++i)
+        taken[order[i]] = true;
+
+    AnytimeResult result;
+    SmartsEstimate &est = result.estimate;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!taken[i])
+            continue;
+        const UnitSample &sample = samples[i];
+        if (sample.hasObs) {
+            est.cpiStats.add(sample.obs.cpi);
+            est.epiStats.add(sample.obs.epi);
+        }
+        est.instructionsMeasured += sample.measured;
+        est.instructionsWarmed += sample.warmed;
+        est.instructionsDropped += sample.dropped;
+    }
+    est.streamLength = library.streamLength();
+    result.unitsAvailable = n;
+    result.unitsMeasured = processed;
+    result.earlyStopped = processed < n;
+    return result;
+}
+
+} // namespace smarts::core

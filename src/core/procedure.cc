@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/checkpoint_store.hh"
+#include "core/livepoint.hh"
 #include "util/logging.hh"
 
 namespace smarts::core {
@@ -117,6 +118,49 @@ SmartsProcedure::estimateSharded(const SessionFactory &factory,
     ctx.spec = &spec;
     ctx.machine = &machine;
     return twoPass(config_, factory, streamLength, ctx);
+}
+
+AnytimeResult
+SmartsProcedure::estimateAnytime(const SessionFactory &factory,
+                                 const workloads::BenchmarkSpec &spec,
+                                 const uarch::MachineConfig &machine,
+                                 std::uint64_t streamLength,
+                                 exec::ThreadPool &pool,
+                                 CheckpointStore &store,
+                                 std::uint64_t seed) const
+{
+    // The densest design the two-pass recipe would consider: nInit
+    // available units. The anytime run stops when the target is met,
+    // so a dense grid costs nothing extra — it is headroom for
+    // high-variance streams, not a commitment.
+    SamplingConfig sc;
+    sc.unitSize = config_.unitSize;
+    sc.detailedWarming = config_.detailedWarming;
+    sc.warming = config_.warming;
+    sc.interval = SamplingConfig::chooseInterval(
+        streamLength, config_.unitSize, config_.nInit);
+
+    const LibraryKey key = LibraryKey::of(spec, machine, sc);
+    std::string error;
+    std::optional<LivePointLibrary> library =
+        store.tryLoadLivePoints(key, &error);
+    if (!library) {
+        if (!error.empty())
+            SMARTS_WARN("checkpoint store: recapturing live-points "
+                        "(", error, ")");
+        auto session = factory();
+        library = LivePointLibrary::build(*session, sc);
+        if (!store.saveLivePoints(*library, key, &error))
+            SMARTS_WARN("checkpoint store: could not persist ",
+                        store.livePointPathFor(key), " (", error,
+                        ")");
+    }
+
+    AnytimeOptions options;
+    options.target = config_.target;
+    options.seed = seed;
+    return SystematicSampler(sc).runAnytime(factory, *library, pool,
+                                            options);
 }
 
 MatchedProcedureResult

@@ -305,16 +305,17 @@ SystematicSampler::runSharded(const SessionFactory &factory,
             store.tryLoad(key, &error))
         return runSharded(factory, *library, pool);
     // A file that exists but refuses to load is a recapture, never a
-    // mis-warm; say why.
+    // mis-warm; say why (tryLoad names the key component — benchmark,
+    // sampling design, geometry hash — or the failing record).
     if (!error.empty())
-        SMARTS_LOG("checkpoint store: recapturing (", error, ")");
+        SMARTS_WARN("checkpoint store: recapturing (", error, ")");
 
     CheckpointLibrary library;
     const SmartsEstimate est = runShardedCold(
         factory, streamLength, shards, pool, &library);
     if (!store.save(key, library, &error))
-        SMARTS_LOG("checkpoint store: could not persist ",
-                   store.pathFor(key), " (", error, ")");
+        SMARTS_WARN("checkpoint store: could not persist ",
+                    store.pathFor(key), " (", error, ")");
     return est;
 }
 

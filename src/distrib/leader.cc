@@ -119,18 +119,21 @@ mergeStudy(const std::string &dir, const JobManifest &manifest,
 std::optional<std::vector<core::SmartsEstimate>>
 collectStudy(const std::string &dir, const JobManifest &manifest,
              double timeoutSeconds, Runner *helper,
-             std::string *error)
+             std::string *error, double pollMillis)
 {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(timeoutSeconds);
+    PollBackoff backoff(pollMillis);
     for (;;) {
         while (!studyComplete(dir, manifest)) {
             // A helping leader executes whatever nobody has
             // claimed — progress is guaranteed even with zero
             // external runners.
-            if (helper && helper->drain(manifest))
+            if (helper && helper->drain(manifest)) {
+                backoff.reset();
                 continue;
+            }
             if (std::chrono::steady_clock::now() >= deadline) {
                 if (error)
                     *error = log::format(
@@ -141,8 +144,11 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
                         dir, ")");
                 return std::nullopt;
             }
+            // Idle poll: back off exponentially so a long wait for
+            // remote runners does not hammer the shared directory.
             std::this_thread::sleep_for(
-                std::chrono::milliseconds(100));
+                std::chrono::duration<double, std::milli>(
+                    backoff.nextMs()));
         }
 
         std::string why;
@@ -171,12 +177,14 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
                 if (ShardResult::load(path, manifest, c, s, &jobWhy)
                         .has_value())
                     continue;
-                SMARTS_LOG("collect: quarantining refused result "
-                           "for job (", c, ", ", s, "): ", jobWhy);
+                SMARTS_WARN("collect: quarantining refused result "
+                            "for job (", c, ", ", s, "): ", jobWhy);
                 fs::remove(path, ec);
                 fs::remove(claimPath(dir, c, s), ec);
                 ++quarantined;
             }
+        if (quarantined)
+            backoff.reset();
         if (!quarantined ||
             std::chrono::steady_clock::now() >= deadline) {
             if (error)

@@ -19,12 +19,14 @@ Runner::Runner(std::string queueDir, std::string storeRoot,
 }
 
 std::optional<JobManifest>
-Runner::awaitManifest(double waitSeconds, std::string *error) const
+Runner::awaitManifest(double waitSeconds, std::string *error,
+                      double pollMillis) const
 {
     const std::string path = manifestPath(dir_);
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(waitSeconds);
+    PollBackoff backoff(pollMillis);
     for (;;) {
         std::error_code ec;
         if (fs::exists(path, ec))
@@ -37,7 +39,8 @@ Runner::awaitManifest(double waitSeconds, std::string *error) const
             return std::nullopt;
         }
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(100));
+            std::chrono::duration<double, std::milli>(
+                backoff.nextMs()));
     }
 }
 
@@ -110,13 +113,13 @@ Runner::libraryFor(const JobManifest &manifest, std::uint32_t c)
                 .emplace(c, std::move(*loaded))
                 .first->second;
         planMismatch = true;
-        SMARTS_LOG("runner ", options_.id, ": stored library ",
-                   store_.pathFor(key),
-                   " was captured under a different shard plan; "
-                   "recapturing with the manifest's");
+        SMARTS_WARN("runner ", options_.id, ": stored library ",
+                    store_.pathFor(key),
+                    " was captured under a different shard plan; "
+                    "recapturing with the manifest's");
     } else if (!error.empty()) {
-        SMARTS_LOG("runner ", options_.id, ": recapturing (", error,
-                   ")");
+        SMARTS_WARN("runner ", options_.id, ": recapturing (", error,
+                    ")");
     }
 
     // Fallback: capture with the manifest's plan, and persist the
@@ -129,8 +132,8 @@ Runner::libraryFor(const JobManifest &manifest, std::uint32_t c)
     core::CheckpointLibrary built = core::CheckpointLibrary::build(
         session, manifest.sampling, manifest.plan);
     if (!planMismatch && !store_.save(key, built, &error))
-        SMARTS_LOG("runner ", options_.id, ": could not persist ",
-                   store_.pathFor(key), " (", error, ")");
+        SMARTS_WARN("runner ", options_.id, ": could not persist ",
+                    store_.pathFor(key), " (", error, ")");
     return libraries_.emplace(c, std::move(built)).first->second;
 }
 

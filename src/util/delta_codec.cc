@@ -1,0 +1,129 @@
+#include "util/delta_codec.hh"
+
+#include <algorithm>
+
+#include "util/binary_io.hh"
+#include "util/logging.hh"
+
+namespace smarts::util {
+
+namespace {
+
+/**
+ * A zero run shorter than one op header (8 bytes) costs more to
+ * encode as a run than to carry inside the surrounding literal, so
+ * the encoder only breaks a literal for runs at least this long.
+ */
+constexpr std::size_t kMinZeroRun = 8;
+
+inline std::uint8_t
+residueAt(const std::vector<std::uint8_t> &base,
+          const std::vector<std::uint8_t> &data, std::size_t i)
+{
+    const std::uint8_t b = i < base.size() ? base[i] : 0;
+    return static_cast<std::uint8_t>(data[i] ^ b);
+}
+
+/** Length of the all-zero residue run starting at @p i. */
+std::size_t
+zeroRunAt(const std::vector<std::uint8_t> &base,
+          const std::vector<std::uint8_t> &data, std::size_t i)
+{
+    std::size_t n = 0;
+    while (i + n < data.size() && residueAt(base, data, i + n) == 0)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+deltaEncode(const std::vector<std::uint8_t> &base,
+            const std::vector<std::uint8_t> &data)
+{
+    constexpr std::size_t kMaxRun = 0xffffffffu;
+    BinaryWriter out;
+    out.u64(data.size());
+
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t zeros =
+            std::min(zeroRunAt(base, data, pos), kMaxRun);
+        std::size_t scan = pos + zeros;
+
+        // Extend the literal until the next worthwhile zero run (or
+        // the end of the payload, or the u32 length cap).
+        std::size_t literal = 0;
+        while (scan + literal < data.size() && literal < kMaxRun) {
+            const std::size_t run =
+                zeroRunAt(base, data, scan + literal);
+            if (run >= kMinZeroRun)
+                break;
+            literal += run ? run : 1;
+        }
+        literal = std::min({literal, data.size() - scan, kMaxRun});
+
+        out.u32(static_cast<std::uint32_t>(zeros));
+        out.u32(static_cast<std::uint32_t>(literal));
+        for (std::size_t i = 0; i < literal; ++i)
+            out.u8(residueAt(base, data, scan + i));
+        pos = scan + literal;
+    }
+    return out.buffer();
+}
+
+std::optional<std::vector<std::uint8_t>>
+deltaDecode(const std::vector<std::uint8_t> &base,
+            const std::vector<std::uint8_t> &delta,
+            std::string *error)
+{
+    auto refuse =
+        [error](std::string why) -> std::optional<
+                                     std::vector<std::uint8_t>> {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    BinaryReader in(delta);
+    const std::uint64_t rawSize = in.u64();
+    if (in.failed())
+        return refuse("delta stream is truncated");
+    // A corrupt size field could demand more memory than the stream
+    // could ever justify: every encoded byte covers at most one
+    // payload byte plus what zero runs (8-byte ops covering up to
+    // 2^32 bytes each) can add.
+    if (rawSize > delta.size() +
+                      (delta.size() / kMinZeroRun + 1) * 0xffffffffull)
+        return refuse(log::format("delta declares an absurd payload "
+                                  "size (", rawSize, " bytes)"));
+
+    std::vector<std::uint8_t> out;
+    out.reserve(static_cast<std::size_t>(rawSize));
+    while (out.size() < rawSize) {
+        const std::uint32_t zeros = in.u32();
+        const std::uint32_t literal = in.u32();
+        if (in.failed())
+            return refuse("delta stream is truncated");
+        if (!zeros && !literal)
+            return refuse("delta contains a zero-progress op");
+        if (zeros + std::uint64_t(literal) > rawSize - out.size())
+            return refuse("delta ops overrun the declared size");
+        for (std::uint32_t i = 0; i < zeros; ++i) {
+            const std::size_t at = out.size();
+            out.push_back(at < base.size() ? base[at] : 0);
+        }
+        for (std::uint32_t i = 0; i < literal; ++i) {
+            const std::size_t at = out.size();
+            const std::uint8_t b = at < base.size() ? base[at] : 0;
+            out.push_back(static_cast<std::uint8_t>(in.u8() ^ b));
+        }
+        if (in.failed())
+            return refuse("delta stream is truncated");
+    }
+    if (in.remaining() != 0)
+        return refuse("delta stream has trailing garbage");
+    return out;
+}
+
+} // namespace smarts::util

@@ -8,8 +8,9 @@
  * merged); leader-merge bit-identity against serial run() at 1, 2
  * and 5 concurrent runners; duplicate-claim benignity (identical
  * bytes either way); abandoned-claim recovery via the stale-claim
- * window; and the runner's capture fallback when the store's
- * library was built under a different shard plan.
+ * window; the runner's capture fallback when the store's library
+ * was built under a different shard plan; and the exponential
+ * idle-poll backoff (PollBackoff) of the wait loops.
  */
 
 #include <cstdio>
@@ -623,6 +624,53 @@ testStorePlanMismatchFallback()
     }
 }
 
+void
+testPollBackoff()
+{
+    // The wait loops' idle backoff: doubles per idle poll from the
+    // seed to the ~1 s cap, and any progress resets it to the seed.
+    distrib::PollBackoff backoff;
+    CHECK_EQ(backoff.currentMs(), 100.0);
+    CHECK_EQ(backoff.nextMs(), 100.0);
+    CHECK_EQ(backoff.nextMs(), 200.0);
+    CHECK_EQ(backoff.nextMs(), 400.0);
+    CHECK_EQ(backoff.nextMs(), 800.0);
+    CHECK_EQ(backoff.nextMs(), 1000.0); // capped, not 1600.
+    CHECK_EQ(backoff.nextMs(), 1000.0); // stays at the cap.
+    backoff.reset();
+    CHECK_EQ(backoff.currentMs(), 100.0);
+
+    // A custom seed (smarts_runner --poll-ms=) still caps at ~1 s.
+    distrib::PollBackoff fast(25.0);
+    CHECK_EQ(fast.nextMs(), 25.0);
+    CHECK_EQ(fast.nextMs(), 50.0);
+    CHECK_EQ(fast.nextMs(), 100.0);
+
+    // Degenerate seeds never wedge the loop: non-positive seeds
+    // clamp to 1 ms, and a cap below the seed collapses to it.
+    distrib::PollBackoff clamped(0.0);
+    CHECK_EQ(clamped.currentMs(), 1.0);
+    distrib::PollBackoff flat(500.0, 100.0);
+    CHECK_EQ(flat.nextMs(), 500.0);
+    CHECK_EQ(flat.nextMs(), 500.0);
+
+    // awaitManifest takes the poll seed as a parameter; a manifest
+    // already on disk returns without sleeping even at a huge seed.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {config}, defaultSampling(),
+                           streamLengthOf(spec, config), 2);
+    resetQueue(manifest);
+    distrib::Runner runner(kQueue, kStore, {"poller", -1.0});
+    std::string error;
+    const auto found = runner.awaitManifest(
+        /*waitSeconds=*/0.0, &error, /*pollMillis=*/60'000.0);
+    CHECK(found.has_value());
+    CHECK_EQ(found->studyId, manifest.studyId);
+}
+
 } // namespace
 
 int
@@ -638,5 +686,6 @@ main()
     testMergeBitIdentityAtRunnerCounts();
     testClaimsDuplicatesAndRecovery();
     testStorePlanMismatchFallback();
+    testPollBackoff();
     TEST_MAIN_SUMMARY();
 }

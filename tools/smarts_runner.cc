@@ -57,6 +57,7 @@ struct Options
     std::string id;
     double wait = 30.0;
     double stale = -1.0;
+    double pollMs = 100.0; ///< seeds the idle-poll backoff.
 
     // Leader-mode study parameters.
     std::string benchmark;
@@ -80,13 +81,13 @@ usage(const char *argv0)
         stderr,
         "usage:\n"
         "  %s --dir=<queue> --store=<store> [--id=<name>] "
-        "[--wait=<s>] [--stale=<s>]\n"
+        "[--wait=<s>] [--stale=<s>] [--poll-ms=<ms>]\n"
         "  %s --leader --dir=<queue> --store=<store> "
         "--benchmark=<name> [--scale=mini|small|large]\n"
         "      [--machine=8|16|both] [--unit=<U>] [--warm=<W>] "
         "[--interval=<k>|0=auto] [--offset=<j>]\n"
-        "      [--shards=<S>] [--timeout=<s>] [--no-work] "
-        "[--serial-check]\n"
+        "      [--shards=<S>] [--timeout=<s>] [--poll-ms=<ms>] "
+        "[--no-work] [--serial-check]\n"
         "see docs/distributed-runners.md\n",
         argv0, argv0);
     std::exit(2);
@@ -147,6 +148,10 @@ parse(int argc, char **argv)
             opt.shards = std::strtoull(v13, nullptr, 10);
         } else if (const char *v14 = value("--timeout=")) {
             opt.timeout = std::atof(v14);
+        } else if (const char *v15 = value("--poll-ms=")) {
+            opt.pollMs = std::atof(v15);
+            if (opt.pollMs <= 0.0)
+                SMARTS_FATAL("--poll-ms must be positive");
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n",
                          arg.c_str());
@@ -172,7 +177,8 @@ runnerMain(const Options &opt)
     distrib::Runner runner(opt.dir, opt.store, ropt);
 
     std::string error;
-    const auto manifest = runner.awaitManifest(opt.wait, &error);
+    const auto manifest =
+        runner.awaitManifest(opt.wait, &error, opt.pollMs);
     if (!manifest) {
         std::fprintf(stderr, "smarts_runner %s: %s\n",
                      opt.id.c_str(), error.c_str());
@@ -270,7 +276,7 @@ leaderMain(const Options &opt)
     distrib::Runner helper(opt.dir, opt.store, ropt);
     const auto estimates = distrib::collectStudy(
         opt.dir, manifest, opt.timeout,
-        opt.work ? &helper : nullptr, &error);
+        opt.work ? &helper : nullptr, &error, opt.pollMs);
     if (!estimates)
         SMARTS_FATAL("study failed: ", error);
 
