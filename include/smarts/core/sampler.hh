@@ -38,6 +38,15 @@ struct ShardSpec;
 /** Builds a fresh session at stream start (thread-safe, reentrant). */
 using SessionFactory = std::function<std::unique_ptr<SimSession>()>;
 
+/**
+ * Called between sampled units of a slice: a liveness/progress hook
+ * for long executions (the distributed runner heartbeats its claim
+ * marker here). Return false to ABANDON the slice — the loop stops
+ * where it is and the partial result must not be published or
+ * folded.
+ */
+using ProgressTick = std::function<bool()>;
+
 struct SamplingConfig
 {
     std::uint64_t unitSize = 1000;      ///< U.
@@ -360,8 +369,25 @@ class SystematicSampler
      * (smarts::distrib) share: the serial loop body is common code,
      * so no execution path can drift from run()'s semantics.
      */
-    SliceResult runSlice(SimSession &session,
-                         const ShardSpec &shard) const;
+    SliceResult runSlice(SimSession &session, const ShardSpec &shard,
+                         const ProgressTick &tick = {}) const;
+
+    /**
+     * Measure live-point slots [firstUnit, firstUnit + unitCount) of
+     * @p library — restore, detailed-warm W, measure U per unit,
+     * with serial-identical accounting — into one SliceResult in
+     * slot (= stream) order. This is the unit-range job body of the
+     * distributed runner: folding range results in slot order
+     * reproduces the serial run() bit for bit, exactly as fold of
+     * runSlice results does in shard mode. @p tick fires between
+     * units (see ProgressTick; an abandoned slice is partial and
+     * must not be published). Implemented in livepoint.cc.
+     */
+    SliceResult measureUnits(SimSession &session,
+                             const LivePointLibrary &library,
+                             std::uint64_t firstUnit,
+                             std::uint64_t unitCount,
+                             const ProgressTick &tick = {}) const;
 
     /**
      * Accumulate a slice into @p est by replaying its per-unit

@@ -39,6 +39,57 @@ JobManifest planStudy(const workloads::BenchmarkSpec &spec,
                       std::uint64_t streamLength,
                       std::size_t shards);
 
+/** What ensureStudyLivePoints() learned about a study's stream. */
+struct LivePointPlan
+{
+    std::uint64_t totalUnits = 0;   ///< live-points per library.
+    std::uint64_t streamLength = 0; ///< true dynamic length.
+};
+
+/**
+ * Make @p store serve a unit-range study: capture the `.smlp`
+ * live-point libraries for every config (one streaming pass, misses
+ * only — CheckpointStore::ensureLivePoints), then report the unit
+ * count and stream length the manifest must carry. Fatal if a
+ * library still refuses to load after capture.
+ */
+LivePointPlan
+ensureStudyLivePoints(const core::CheckpointStore &store,
+                      const workloads::BenchmarkSpec &spec,
+                      const std::vector<uarch::MachineConfig> &configs,
+                      const core::SamplingConfig &sampling);
+
+/**
+ * Build a UNIT-RANGE manifest (JobMode::UnitRange): jobs are
+ * contiguous live-point ranges instead of shards, seeded as an even
+ * partition of [0, totalUnits) into at most @p jobs ranges. The
+ * live partition evolves in `<queue>/ranges/` — splitRemainingRanges
+ * halves unclaimed ranges when runners join — and merge tiles
+ * whatever result granularity it finds, so the estimate stays
+ * bit-identical to serial run() through any split history.
+ * @p totalUnits / @p streamLength come from ensureStudyLivePoints.
+ */
+JobManifest
+planUnitStudy(const workloads::BenchmarkSpec &spec,
+              const std::vector<uarch::MachineConfig> &configs,
+              const core::SamplingConfig &sampling,
+              std::uint64_t streamLength, std::uint64_t totalUnits,
+              std::size_t jobs);
+
+/**
+ * Halve every live range that no runner has claimed (any config)
+ * and no result covers, down to @p minUnits per child: the elastic
+ * response to a runner JOINING mid-study — remaining work re-grains
+ * so the newcomer gets a fair share instead of idling behind big
+ * claims. Child markers are published before the parent marker is
+ * removed, so a racing claim of the parent stays mergeable (the
+ * tiling merge accepts either granularity). Returns the number of
+ * ranges split. Shard-mode studies: always 0.
+ */
+std::size_t splitRemainingRanges(const std::string &dir,
+                                 const JobManifest &manifest,
+                                 std::uint64_t minUnits = 8);
+
 /**
  * Make @p store serve every (config, shard > 0) resume of
  * @p manifest: any key whose library is missing, refuses to load,

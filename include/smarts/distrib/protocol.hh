@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/checkpoint.hh"
@@ -38,7 +39,60 @@ namespace smarts::distrib {
 
 /** On-disk protocol version, shared by manifest and result files
  *  (docs/distributed-runners.md § Versioning). */
-constexpr std::uint32_t kDistribFormatVersion = 1;
+constexpr std::uint32_t kDistribFormatVersion = 2;
+
+/**
+ * Fingerprint of THIS build's measurement semantics: the protocol
+ * version mixed with a timing-model fingerprint derived from a
+ * golden micro-run (short fixed workloads driven through the full
+ * detailed timing and energy model under the stock machines). The
+ * geometry hash only catches warm-STATE divergence between builds; a
+ * build whose timing model diverged produces results that pass every
+ * structural check and merge into a silently non-serial-identical
+ * estimate. Embedding this fingerprint in the manifest (and, through
+ * it, the study id) turns that silent merge into a refusal at
+ * manifest load. Computed once per process, cached.
+ */
+std::uint64_t buildFingerprint();
+
+/**
+ * How the manifest slices the study into jobs
+ * (docs/distributed-runners.md § Job modes).
+ */
+enum class JobMode : std::uint8_t
+{
+    /** (config × shard) jobs over the `.smck` shard plan (v1). */
+    Shard = 0,
+
+    /**
+     * (config × unit-range) jobs over the store's `.smlp` live-point
+     * libraries: each job measures a contiguous range of measured
+     * units from their per-unit checkpoints. Ranges live as marker
+     * files under `<queue>/ranges/` so the leader can SPLIT a
+     * still-unclaimed range when a new runner joins mid-study.
+     */
+    UnitRange = 1,
+};
+
+/** A contiguous run of measured-unit slots [firstUnit,
+ *  firstUnit + unitCount) of a live-point library. */
+struct UnitRange
+{
+    std::uint64_t firstUnit = 0;
+    std::uint64_t unitCount = 0;
+};
+
+inline bool
+operator==(const UnitRange &a, const UnitRange &b)
+{
+    return a.firstUnit == b.firstUnit && a.unitCount == b.unitCount;
+}
+
+inline bool
+operator!=(const UnitRange &a, const UnitRange &b)
+{
+    return !(a == b);
+}
 
 /** Queue-directory file names (docs/distributed-runners.md). */
 std::string manifestPath(const std::string &dir);
@@ -46,6 +100,29 @@ std::string claimPath(const std::string &dir, std::uint32_t config,
                       std::uint32_t shard);
 std::string resultPath(const std::string &dir, std::uint32_t config,
                        std::uint32_t shard);
+
+/** Unit-range job file names: "u<F>_n<N>" slots into the same
+ *  claims/ and results/ directories, "ranges/u<F>_n<N>.range" is the
+ *  live-range marker (docs/distributed-runners.md § Unit-range
+ *  jobs). */
+std::string rangeName(const UnitRange &range);
+std::string rangeMarkerPath(const std::string &dir,
+                            const UnitRange &range);
+std::string claimPathRange(const std::string &dir,
+                           std::uint32_t config,
+                           const UnitRange &range);
+std::string resultPathRange(const std::string &dir,
+                            std::uint32_t config,
+                            const UnitRange &range);
+
+/** The live ranges published under `<dir>/ranges/`, sorted by
+ *  firstUnit (missing directory = empty). */
+std::vector<UnitRange> listRanges(const std::string &dir);
+
+/** Ranges with a published result file for @p config, parsed from
+ *  the results directory, sorted by (firstUnit, unitCount desc). */
+std::vector<UnitRange> listResultRanges(const std::string &dir,
+                                        std::uint32_t config);
 
 /**
  * The leader's statement of a study: ONE benchmark and sampling
@@ -68,18 +145,39 @@ struct JobManifest
      */
     std::uint64_t studyId = 0;
 
+    /** The publishing build's buildFingerprint(); load() refuses a
+     *  manifest whose fingerprint this build does not reproduce. */
+    std::uint64_t fingerprint = 0;
+
     std::uint64_t streamLength = 0; ///< true dynamic stream length.
     workloads::BenchmarkSpec benchmark;
     core::SamplingConfig sampling;
     std::vector<uarch::MachineConfig> configs;
     std::vector<std::uint64_t> geometryHashes; ///< one per config.
+
+    JobMode mode = JobMode::Shard;
+
+    /** Shard mode: the plan every runner executes. Empty in
+     *  unit-range mode. */
     std::vector<core::ShardSpec> plan;
 
-    /** Jobs are the (config × shard) grid. */
+    /** Unit-range mode: measured-unit count of the study's
+     *  live-point libraries. 0 in shard mode. */
+    std::uint64_t totalUnits = 0;
+
+    /** Unit-range mode: the INITIAL partition of [0, totalUnits).
+     *  The live partition evolves in `<queue>/ranges/` as the leader
+     *  splits; this field only seeds it. Empty in shard mode. */
+    std::vector<UnitRange> ranges;
+
+    /** Jobs are the (config × shard) grid, or in unit-range mode the
+     *  (config × initial-range) grid (splits add more). */
     std::size_t
     jobCount() const
     {
-        return configs.size() * plan.size();
+        return configs.size() *
+               (mode == JobMode::UnitRange ? ranges.size()
+                                           : plan.size());
     }
 
     /** The checkpoint-store key config @p c's shards resume from. */
@@ -103,8 +201,10 @@ struct JobManifest
     /**
      * Load and fully validate a manifest. Refuses — nullopt plus a
      * diagnostic — on a missing/truncated/corrupt file, unknown
-     * version, malformed shard plan, or a geometry hash this
-     * build's warmGeometryHash does not reproduce.
+     * version, a build fingerprint this build does not reproduce
+     * (the diagnostic names both fingerprints), malformed shard
+     * plan or range partition, or a geometry hash this build's
+     * warmGeometryHash does not reproduce.
      */
     static std::optional<JobManifest>
     load(const std::string &path, std::string *error = nullptr);
@@ -121,10 +221,12 @@ struct JobManifest
 struct ShardResult
 {
     std::uint64_t studyId = 0;
+    JobMode mode = JobMode::Shard;
     std::uint32_t configIndex = 0;
-    std::uint32_t shardIndex = 0;
+    std::uint32_t shardIndex = 0;  ///< shard mode only.
+    UnitRange range;               ///< unit-range mode only.
     core::LibraryKey key;
-    core::ShardSpec shard;
+    core::ShardSpec shard;         ///< echo; zeroed in range mode.
     core::SliceResult slice;
 
     /** Field order is normative: docs/distributed-runners.md. */
@@ -146,6 +248,17 @@ struct ShardResult
     load(const std::string &path, const JobManifest &manifest,
          std::uint32_t config, std::uint32_t shard,
          std::string *error = nullptr);
+
+    /**
+     * Unit-range counterpart of load(): load the result for job
+     * (@p config, @p range) of @p manifest, refusing on a mode or
+     * range-echo mismatch, a range outside [0, totalUnits), or
+     * observation counts inconsistent with the range.
+     */
+    static std::optional<ShardResult>
+    loadRange(const std::string &path, const JobManifest &manifest,
+              std::uint32_t config, const UnitRange &range,
+              std::string *error = nullptr);
 };
 
 /**
@@ -167,7 +280,43 @@ bool claimJob(const std::string &dir, std::uint32_t config,
               std::uint32_t shard, const std::string &runnerId,
               double staleSeconds = -1.0);
 
-/** Publish @p result into @p dir (atomic temp+rename). */
+/** claimJob for a unit-range job (same claim semantics). */
+bool claimRange(const std::string &dir, std::uint32_t config,
+                const UnitRange &range, const std::string &runnerId,
+                double staleSeconds = -1.0);
+
+/**
+ * Refresh the mtime of a held claim marker — the claim HEARTBEAT.
+ * Staleness is judged by claim-file age, so a runner must touch its
+ * marker between units/shards or a job merely LONGER than the steal
+ * window gets stolen repeatedly; with heartbeats only genuinely dead
+ * claims age past it. Returns false if the marker vanished (the
+ * claim was stolen) — the holder should abandon the job.
+ */
+bool touchClaim(const std::string &claimFile);
+
+/**
+ * The order in which a runner should PROBE the (config × shard) job
+ * grid: a per-runner permutation (seeded from @p runnerId and the
+ * study id) biased toward expensive shards first — weight is a
+ * shard's measured-unit count plus a tail-run-out bonus, and jobs
+ * are ranked by the weighted-shuffle key u^(1/w). N racing runners
+ * therefore start at N different jobs instead of all colliding on
+ * (0,0), and the expensive tail shard is claimed early instead of
+ * serializing the study's critical path.
+ */
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+claimOrder(const JobManifest &manifest, const std::string &runnerId);
+
+/** Unit-range counterpart: order (config × range) jobs over the
+ *  CURRENT live ranges, weight = range unit count. */
+std::vector<std::pair<std::uint32_t, UnitRange>>
+claimOrder(const JobManifest &manifest,
+           const std::vector<UnitRange> &ranges,
+           const std::string &runnerId);
+
+/** Publish @p result into @p dir (atomic temp+rename); the file name
+ *  follows result.mode. */
 bool publishResult(const std::string &dir, const ShardResult &result,
                    std::string *error = nullptr);
 

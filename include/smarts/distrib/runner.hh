@@ -19,12 +19,15 @@
 #ifndef SMARTS_DISTRIB_RUNNER_HH
 #define SMARTS_DISTRIB_RUNNER_HH
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "core/checkpoint_store.hh"
+#include "core/livepoint.hh"
 #include "distrib/protocol.hh"
 
 namespace smarts::distrib {
@@ -40,6 +43,30 @@ struct RunnerOptions
      * § Crash and retry). Negative disables stealing.
      */
     double staleClaimSeconds = -1.0;
+
+    /**
+     * Seconds between claim heartbeats: while a job executes, the
+     * runner touchClaim()s its marker between units at this cadence,
+     * so a LIVE long job never ages past the steal window — only
+     * genuinely dead claims do. Non-positive heartbeats every unit.
+     */
+    double heartbeatSeconds = 0.5;
+
+    /**
+     * Cooperative kill switch, polled between units: once it
+     * returns true the runner abandons the job in flight (claim
+     * left in place to age stale; the partial result is discarded,
+     * never published) and stops draining. The chaos tests use this
+     * to kill a runner mid-drain.
+     */
+    std::function<bool()> cancelled;
+
+    /**
+     * Observation hook: called with a job's name ("c0_s3",
+     * "c1_u40_n20") as its execution starts. Tests and the scaling
+     * bench tally duplicate executions with it.
+     */
+    std::function<void(const std::string &)> onExecute;
 };
 
 class Runner
@@ -49,21 +76,26 @@ class Runner
            RunnerOptions options = {});
 
     /**
-     * Poll for the leader's manifest for up to @p waitSeconds.
-     * Nullopt when none appeared in time or the file refused to
-     * load (diagnostic in @p error). @p pollMillis seeds the
-     * idle-poll backoff (PollBackoff): polls start that far apart
-     * and double toward ~1 s while the manifest stays absent.
+     * Poll for a LOADABLE manifest for up to @p waitSeconds. A
+     * manifest file that refuses to load (e.g. a leftover
+     * incompatible one the leader is about to replace) does NOT end
+     * the wait — the runner keeps polling until the deadline and
+     * surfaces the last refusal reason on timeout. @p pollMillis
+     * seeds the idle-poll backoff (PollBackoff): polls start that
+     * far apart and double toward ~1 s while nothing loads.
      */
     std::optional<JobManifest>
     awaitManifest(double waitSeconds, std::string *error = nullptr,
                   double pollMillis = 100.0) const;
 
     /**
-     * One sweep over the (config × shard) job grid: claim every
-     * available job and execute it, publishing each result
-     * atomically. Returns the number of jobs this call executed
-     * (0 = everything was done or claimed elsewhere).
+     * Drain the study's jobs: probe them in this runner's
+     * claimOrder() permutation (expensive jobs first, decorrelated
+     * across runners), claim, execute, publish atomically. In
+     * unit-range mode the live ranges are re-scanned between sweeps
+     * so ranges split mid-drain are picked up. Returns the number
+     * of jobs this call executed (0 = everything was done or
+     * claimed elsewhere).
      */
     std::size_t drain(const JobManifest &manifest);
 
@@ -77,6 +109,17 @@ class Runner
     ShardResult execute(const JobManifest &manifest,
                         std::uint32_t config, std::uint32_t shard);
 
+    /**
+     * Unit-range counterpart of execute(): measure live-point slots
+     * [range.firstUnit, +range.unitCount) of @p config's `.smlp`
+     * library (store-cached; captured on a miss). Nullopt when the
+     * cancelled hook fired mid-job — the partial result must not be
+     * published.
+     */
+    std::optional<ShardResult>
+    executeRange(const JobManifest &manifest, std::uint32_t config,
+                 const UnitRange &range);
+
     const std::string &
     queueDir() const
     {
@@ -88,9 +131,30 @@ class Runner
     const core::CheckpointLibrary &
     libraryFor(const JobManifest &manifest, std::uint32_t c);
 
+    /** Same, for the live-point library of a unit-range study. */
+    const core::LivePointLibrary &
+    livePointsFor(const JobManifest &manifest, std::uint32_t c);
+
+    std::size_t drainShards(const JobManifest &manifest);
+    std::size_t drainRanges(const JobManifest &manifest);
+
+    bool
+    cancelledNow() const
+    {
+        return options_.cancelled && options_.cancelled();
+    }
+
+    /** The per-unit ProgressTick: heartbeat the held claim, then
+     *  report liveness (false = abandon the slice). */
+    bool tick();
+
     std::string dir_;
     core::CheckpointStore store_;
     RunnerOptions options_;
+
+    /** Claim marker of the job in flight ('' when idle). */
+    std::string heartbeatPath_;
+    std::chrono::steady_clock::time_point lastBeat_{};
 
     /**
      * Per-config libraries of the study last executed, invalidated
@@ -101,6 +165,8 @@ class Runner
      */
     std::uint64_t cachedStudyId_ = 0;
     std::map<std::uint32_t, core::CheckpointLibrary> libraries_;
+    std::map<std::uint32_t, core::LivePointLibrary>
+        livePointLibraries_;
 };
 
 } // namespace smarts::distrib

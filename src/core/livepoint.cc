@@ -423,4 +423,44 @@ SystematicSampler::runAnytime(const SessionFactory &factory,
     return result;
 }
 
+SliceResult
+SystematicSampler::measureUnits(SimSession &session,
+                                const LivePointLibrary &library,
+                                std::uint64_t firstUnit,
+                                std::uint64_t unitCount,
+                                const ProgressTick &tick) const
+{
+    const SamplingConfig &built = library.samplingConfig();
+    if (built.unitSize != config_.unitSize ||
+        built.detailedWarming != config_.detailedWarming ||
+        built.interval != config_.interval ||
+        built.offset != config_.offset ||
+        built.warming != config_.warming)
+        SMARTS_FATAL("live-point library was built for a different "
+                     "sampling design");
+    if (firstUnit + unitCount > library.unitCount())
+        SMARTS_FATAL("unit range [", firstUnit, ", +", unitCount,
+                     ") exceeds the library's ",
+                     library.unitCount(), " live-points");
+
+    // Slots in ascending order ARE stream order, so the accumulated
+    // slice folds exactly like a shard slice: stream-order replay,
+    // bit-identical to the serial loop over the same units.
+    SliceResult r;
+    for (std::uint64_t i = firstUnit; i < firstUnit + unitCount;
+         ++i) {
+        UnitSample sample;
+        measureLivePoint(session, config_, library.at(i), sample);
+        if (sample.hasObs)
+            r.obs.push_back(sample.obs);
+        r.measured += sample.measured;
+        r.warmed += sample.warmed;
+        r.dropped += sample.dropped;
+        if (tick && !tick())
+            break; // abandoned: partial, not publishable.
+    }
+    r.endPos = library.streamLength();
+    return r;
+}
+
 } // namespace smarts::core

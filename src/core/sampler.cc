@@ -21,13 +21,14 @@ namespace {
 SliceResult
 runSliceRange(SimSession &session, const SamplingConfig &config,
               std::uint64_t startIdx, std::uint64_t maxUnits,
-              bool runTail)
+              bool runTail, const ProgressTick &tick = {})
 {
     const std::uint64_t u = config.unitSize;
     const std::uint64_t w = config.detailedWarming;
     const std::uint64_t k = config.interval;
 
     SliceResult r;
+    bool aborted = false;
     std::uint64_t pos = session.instCount();
 
     // O(1) jump to the first grid index whose unit starts at or
@@ -79,10 +80,17 @@ runSliceRange(SimSession &session, const SamplingConfig &config,
         }
         ++done;
         unitIdx += k;
+
+        // Liveness hook between units; false abandons the slice
+        // (partial result, not publishable — skip the tail too).
+        if (tick && !tick()) {
+            aborted = true;
+            break;
+        }
     }
 
     // Run out the tail so streamLength is the true benchmark length.
-    if (runTail)
+    if (runTail && !aborted)
         while (!session.finished())
             session.fastForward(~0ull >> 1, config.warming);
     r.endPos = session.instCount();
@@ -93,11 +101,12 @@ runSliceRange(SimSession &session, const SamplingConfig &config,
 
 SliceResult
 SystematicSampler::runSlice(SimSession &session,
-                            const ShardSpec &shard) const
+                            const ShardSpec &shard,
+                            const ProgressTick &tick) const
 {
     return runSliceRange(session, config_, shard.firstUnitIndex,
                          shard.runsTail ? ~0ull : shard.unitCount,
-                         shard.runsTail);
+                         shard.runsTail, tick);
 }
 
 void

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include <unistd.h>
 
+#include "core/session.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace smarts::distrib {
 
@@ -29,6 +32,15 @@ std::string
 jobName(std::uint32_t config, std::uint32_t shard)
 {
     return log::format("c", config, "_s", shard);
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 void
@@ -156,7 +168,155 @@ tempName(const std::string &path, const std::string &tag)
                        serial.fetch_add(1));
 }
 
+/**
+ * The shared claim core: result-exists short-circuit, exclusive
+ * hard-link creation for a fresh claim, atomic rename-steal of a
+ * stale one. Both job flavors (shard and unit-range) differ only in
+ * the two paths.
+ */
+bool
+claimAt(const std::string &claim, const std::string &result,
+        const std::string &runnerId, double staleSeconds)
+{
+    std::error_code ec;
+    // Already done: nothing to claim.
+    if (fs::exists(result, ec))
+        return false;
+
+    const fs::path claimFile(claim);
+    fs::create_directories(claimFile.parent_path(), ec);
+
+    // Stage the marker under a process-unique temp name.
+    const std::string tmp = tempName(claim, runnerId);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << runnerId << " pid=" << ::getpid() << "\n";
+    }
+
+    if (!fs::exists(claimFile, ec)) {
+        // Fresh claim: hard-link is atomic and FAILS if the claim
+        // appeared meanwhile — of N racing runners exactly one
+        // wins.
+        fs::create_hard_link(tmp, claimFile, ec);
+        std::error_code ignore;
+        fs::remove(tmp, ignore);
+        return !ec;
+    }
+
+    // Existing claim: steal only when stale recovery is enabled and
+    // the claim has sat result-less past the threshold. A live
+    // holder heartbeats the marker (touchClaim) between units, so
+    // only genuinely dead claims age this far. Rename atomically
+    // REPLACES the marker; two racing stealers both "win" and
+    // duplicate the execution — benign, because results are
+    // deterministic and byte-identical.
+    if (staleSeconds >= 0.0) {
+        const auto mtime = fs::last_write_time(claimFile, ec);
+        if (!ec) {
+            const double age =
+                std::chrono::duration<double>(
+                    fs::file_time_type::clock::now() - mtime)
+                    .count();
+            if (age >= staleSeconds) {
+                fs::rename(tmp, claimFile, ec);
+                if (!ec)
+                    return true;
+            }
+        }
+    }
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    return false;
+}
+
+/**
+ * Rank jobs by the weighted-shuffle key u^(1/w) (Efraimidis-
+ * Spirakis), descending: every runner gets a different permutation
+ * (per-runner RNG seed) whose EXPECTED order is weight-biased, so
+ * heavy jobs surface early without all runners probing the same job
+ * first.
+ */
+template <typename Job>
+std::vector<Job>
+weightedOrder(const std::vector<std::pair<Job, double>> &jobs,
+              std::uint64_t studyId, const std::string &runnerId)
+{
+    Xoshiro256StarStar rng(mix64(
+        util::fnv1a(
+            reinterpret_cast<const std::uint8_t *>(runnerId.data()),
+            runnerId.size()) ^
+        studyId));
+    std::vector<std::pair<double, std::size_t>> keyed;
+    keyed.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const double w = std::max(jobs[i].second, 1.0);
+        keyed.emplace_back(std::pow(rng.uniform(), 1.0 / w), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    std::vector<Job> order;
+    order.reserve(jobs.size());
+    for (const auto &[key, i] : keyed)
+        order.push_back(jobs[i].first);
+    return order;
+}
+
+void
+writeRange(util::BinaryWriter &out, const UnitRange &r)
+{
+    out.u64(r.firstUnit);
+    out.u64(r.unitCount);
+}
+
+UnitRange
+readRange(util::BinaryReader &in)
+{
+    UnitRange r;
+    r.firstUnit = in.u64();
+    r.unitCount = in.u64();
+    return r;
+}
+
 } // namespace
+
+std::uint64_t
+buildFingerprint()
+{
+    // Golden micro-run, once per process: short fixed workloads
+    // driven through the FULL detailed timing and energy model under
+    // both stock machines. Any change to cache/TLB/branch modeling,
+    // issue-width accounting, stall factors, or the energy model
+    // perturbs cycles or energy bit patterns and lands here; the
+    // functional-warming prefix ties in the warming semantics the
+    // geometry hash only names.
+    static const std::uint64_t fp = [] {
+        util::BinaryWriter probe;
+        probe.u32(kDistribFormatVersion);
+        for (const uarch::MachineConfig &machine :
+             {uarch::MachineConfig::eightWay(),
+              uarch::MachineConfig::sixteenWay()}) {
+            for (const char *name : {"sort-1", "fsm-1"}) {
+                core::SimSession session(
+                    workloads::findBenchmark(
+                        name, workloads::Scale::Mini),
+                    machine);
+                session.fastForward(20000,
+                                    core::WarmingMode::Functional);
+                const core::Segment seg =
+                    session.detailedRun(30000);
+                probe.u64(seg.instructions);
+                probe.u64(seg.cycles);
+                probe.f64(seg.energyNj);
+            }
+        }
+        return util::fnv1a(probe.buffer().data(), probe.size());
+    }();
+    return fp;
+}
 
 std::string
 manifestPath(const std::string &dir)
@@ -182,6 +342,94 @@ resultPath(const std::string &dir, std::uint32_t config,
         .string();
 }
 
+std::string
+rangeName(const UnitRange &range)
+{
+    return log::format("u", range.firstUnit, "_n", range.unitCount);
+}
+
+std::string
+rangeMarkerPath(const std::string &dir, const UnitRange &range)
+{
+    return (fs::path(dir) / "ranges" / (rangeName(range) + ".range"))
+        .string();
+}
+
+std::string
+claimPathRange(const std::string &dir, std::uint32_t config,
+               const UnitRange &range)
+{
+    return (fs::path(dir) / "claims" /
+            (log::format("c", config, "_") + rangeName(range) +
+             ".claim"))
+        .string();
+}
+
+std::string
+resultPathRange(const std::string &dir, std::uint32_t config,
+                const UnitRange &range)
+{
+    return (fs::path(dir) / "results" /
+            (log::format("c", config, "_") + rangeName(range) +
+             ".smrr"))
+        .string();
+}
+
+std::vector<UnitRange>
+listRanges(const std::string &dir)
+{
+    std::vector<UnitRange> ranges;
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(dir) / "ranges", ec);
+    if (ec)
+        return ranges;
+    for (const fs::directory_entry &entry :
+         it) {
+        if (entry.path().extension() != ".range")
+            continue;
+        unsigned long long first = 0, count = 0;
+        if (std::sscanf(entry.path().stem().string().c_str(),
+                        "u%llu_n%llu", &first, &count) == 2 &&
+            count > 0)
+            ranges.push_back(UnitRange{first, count});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const UnitRange &a, const UnitRange &b) {
+                  return a.firstUnit != b.firstUnit
+                             ? a.firstUnit < b.firstUnit
+                             : a.unitCount > b.unitCount;
+              });
+    return ranges;
+}
+
+std::vector<UnitRange>
+listResultRanges(const std::string &dir, std::uint32_t config)
+{
+    std::vector<UnitRange> ranges;
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(dir) / "results", ec);
+    if (ec)
+        return ranges;
+    for (const fs::directory_entry &entry : it) {
+        if (entry.path().extension() != ".smrr")
+            continue;
+        unsigned c = 0;
+        unsigned long long first = 0, count = 0;
+        if (std::sscanf(entry.path().stem().string().c_str(),
+                        "c%u_u%llu_n%llu", &c, &first,
+                        &count) == 3 &&
+            c == config && count > 0)
+            ranges.push_back(UnitRange{first, count});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const UnitRange &a, const UnitRange &b) {
+                  return a.firstUnit != b.firstUnit
+                             ? a.firstUnit < b.firstUnit
+                             : a.unitCount > b.unitCount;
+              });
+    return ranges;
+}
+
 void
 JobManifest::serialize(util::BinaryWriter &out) const
 {
@@ -189,6 +437,7 @@ JobManifest::serialize(util::BinaryWriter &out) const
     out.u32(kDistribFormatVersion);
     out.u32(kEndianMark);
     out.u64(studyId);
+    out.u64(fingerprint);
     out.u64(streamLength);
     // Benchmark + sampling via the LibraryKey encoding the .smck
     // format already fixed; the hash slot is zero here because
@@ -203,9 +452,14 @@ JobManifest::serialize(util::BinaryWriter &out) const
         writeMachine(out, configs[c]);
         out.u64(geometryHashes[c]);
     }
+    out.u8(static_cast<std::uint8_t>(mode));
     out.u64(plan.size());
     for (const core::ShardSpec &shard : plan)
         writeShard(out, shard);
+    out.u64(totalUnits);
+    out.u64(ranges.size());
+    for (const UnitRange &r : ranges)
+        writeRange(out, r);
 }
 
 bool
@@ -245,6 +499,7 @@ JobManifest::load(const std::string &path, std::string *error)
 
     JobManifest m;
     m.studyId = in.u64();
+    m.fingerprint = in.u64();
     m.streamLength = in.u64();
     const core::LibraryKey base = core::LibraryKey::read(in);
     m.benchmark = base.benchmark;
@@ -261,6 +516,12 @@ JobManifest::load(const std::string &path, std::string *error)
         m.geometryHashes.push_back(in.u64());
     }
 
+    const std::uint8_t modeByte = in.u8();
+    if (modeByte > static_cast<std::uint8_t>(JobMode::UnitRange))
+        return refuse(log::format(path, " names unknown job mode ",
+                                  static_cast<unsigned>(modeByte)));
+    m.mode = static_cast<JobMode>(modeByte);
+
     const std::uint64_t shardCount = in.u64();
     if (shardCount > in.remaining())
         return refuse(log::format(path, " is corrupt (shard count ",
@@ -269,15 +530,70 @@ JobManifest::load(const std::string &path, std::string *error)
     for (std::uint64_t s = 0; s < shardCount; ++s)
         m.plan.push_back(readShard(in));
 
+    m.totalUnits = in.u64();
+    const std::uint64_t rangeCount = in.u64();
+    if (rangeCount > in.remaining())
+        return refuse(log::format(path, " is corrupt (range count ",
+                                  rangeCount, ")"));
+    m.ranges.reserve(rangeCount);
+    for (std::uint64_t r = 0; r < rangeCount; ++r)
+        m.ranges.push_back(readRange(in));
+
     if (in.failed() || in.remaining() != 0)
         return refuse(log::format(
             path, " is truncated or has trailing garbage"));
 
-    const std::string planError =
-        core::CheckpointLibrary::validatePlan(m.sampling, m.plan);
-    if (!planError.empty())
-        return refuse(
-            log::format(path, " is corrupt (", planError, ")"));
+    // The build-fingerprint handshake: a manifest published by a
+    // build whose timing model (or protocol) diverged from this one
+    // must refuse HERE, not merge silently and rely on
+    // --serial-check.
+    if (m.fingerprint != buildFingerprint())
+        return refuse(log::format(
+            path, " was published by a build with fingerprint ",
+            hex64(m.fingerprint), "; this build's fingerprint is ",
+            hex64(buildFingerprint()),
+            " — leader/runner timing models or protocol versions "
+            "diverged"));
+
+    if (m.mode == JobMode::Shard) {
+        if (m.totalUnits != 0 || !m.ranges.empty())
+            return refuse(log::format(
+                path,
+                " is corrupt (shard-mode manifest carries unit "
+                "ranges)"));
+        const std::string planError =
+            core::CheckpointLibrary::validatePlan(m.sampling,
+                                                  m.plan);
+        if (!planError.empty())
+            return refuse(
+                log::format(path, " is corrupt (", planError, ")"));
+    } else {
+        if (!m.plan.empty())
+            return refuse(log::format(
+                path,
+                " is corrupt (unit-range manifest carries a shard "
+                "plan)"));
+        if (m.totalUnits == 0)
+            return refuse(log::format(
+                path, " is corrupt (unit-range study of 0 units)"));
+        // The initial ranges must tile [0, totalUnits) exactly: a
+        // gap loses units silently, an overlap double-counts them.
+        std::uint64_t cursor = 0;
+        for (const UnitRange &r : m.ranges) {
+            if (r.firstUnit != cursor || r.unitCount == 0)
+                return refuse(log::format(
+                    path,
+                    " is corrupt (ranges do not tile the study: "
+                    "expected a range at unit ",
+                    cursor, ", found [", r.firstUnit, ", +",
+                    r.unitCount, "))"));
+            cursor += r.unitCount;
+        }
+        if (cursor != m.totalUnits)
+            return refuse(log::format(
+                path, " is corrupt (ranges cover ", cursor, " of ",
+                m.totalUnits, " units)"));
+    }
 
     // The stated geometry hashes must be reproducible by THIS
     // build: a disagreement means the leader hashes warm state
@@ -301,8 +617,10 @@ ShardResult::serialize(util::BinaryWriter &out) const
     out.u32(kDistribFormatVersion);
     out.u32(kEndianMark);
     out.u64(studyId);
+    out.u8(static_cast<std::uint8_t>(mode));
     out.u32(configIndex);
     out.u32(shardIndex);
+    writeRange(out, range);
     key.write(out);
     writeShard(out, shard);
     out.u64(slice.measured);
@@ -324,15 +642,18 @@ ShardResult::save(const std::string &path, std::string *error) const
     return out.writeFile(path, error);
 }
 
-std::optional<ShardResult>
-ShardResult::load(const std::string &path,
-                  const JobManifest &manifest, std::uint32_t config,
-                  std::uint32_t shard, std::string *error)
+namespace {
+
+/** Parse a result file's bytes into @p r: structural refusals only
+ *  (semantic checks are the callers'). */
+bool
+parseResult(const std::string &path, ShardResult &r,
+            std::string *error)
 {
     auto refuse = [error](std::string why) {
         if (error)
             *error = std::move(why);
-        return std::nullopt;
+        return false;
     };
 
     std::string ioError;
@@ -353,10 +674,15 @@ ShardResult::load(const std::string &path,
         return refuse(log::format(path,
                                   " has a bad endianness marker"));
 
-    ShardResult r;
     r.studyId = in.u64();
+    const std::uint8_t modeByte = in.u8();
+    if (modeByte > static_cast<std::uint8_t>(JobMode::UnitRange))
+        return refuse(log::format(path, " names unknown job mode ",
+                                  static_cast<unsigned>(modeByte)));
+    r.mode = static_cast<JobMode>(modeByte);
     r.configIndex = in.u32();
     r.shardIndex = in.u32();
+    r.range = readRange(in);
     r.key = core::LibraryKey::read(in);
     r.shard = readShard(in);
     r.slice.measured = in.u64();
@@ -375,6 +701,25 @@ ShardResult::load(const std::string &path,
     if (in.failed() || in.remaining() != 0)
         return refuse(log::format(
             path, " is truncated or has trailing garbage"));
+    return true;
+}
+
+} // namespace
+
+std::optional<ShardResult>
+ShardResult::load(const std::string &path,
+                  const JobManifest &manifest, std::uint32_t config,
+                  std::uint32_t shard, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    ShardResult r;
+    if (!parseResult(path, r, error))
+        return std::nullopt;
 
     // Semantic refusals: everything must match the manifest's view
     // of job (config, shard). Merging a result from another study,
@@ -384,6 +729,9 @@ ShardResult::load(const std::string &path,
         return refuse(log::format(
             path, " belongs to study ", r.studyId,
             ", not this manifest's study ", manifest.studyId));
+    if (r.mode != JobMode::Shard)
+        return refuse(log::format(
+            path, " is a unit-range result, not a shard result"));
     if (r.configIndex != config || r.shardIndex != shard)
         return refuse(log::format(
             path, " is the result of job (config ", r.configIndex,
@@ -408,70 +756,140 @@ ShardResult::load(const std::string &path,
     return r;
 }
 
+std::optional<ShardResult>
+ShardResult::loadRange(const std::string &path,
+                       const JobManifest &manifest,
+                       std::uint32_t config, const UnitRange &range,
+                       std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    ShardResult r;
+    if (!parseResult(path, r, error))
+        return std::nullopt;
+
+    if (r.studyId != manifest.studyId)
+        return refuse(log::format(
+            path, " belongs to study ", r.studyId,
+            ", not this manifest's study ", manifest.studyId));
+    if (r.mode != JobMode::UnitRange)
+        return refuse(log::format(
+            path, " is a shard result, not a unit-range result"));
+    if (r.configIndex != config || r.range != range)
+        return refuse(log::format(
+            path, " is the result of job (config ", r.configIndex,
+            ", units [", r.range.firstUnit, ", +", r.range.unitCount,
+            ")), not (config ", config, ", units [", range.firstUnit,
+            ", +", range.unitCount, "))"));
+    if (range.unitCount == 0 ||
+        range.firstUnit + range.unitCount > manifest.totalUnits)
+        return refuse(log::format(
+            path, " covers units [", range.firstUnit, ", +",
+            range.unitCount, ") outside this study's ",
+            manifest.totalUnits, " units"));
+    const std::string keyMismatch =
+        manifest.keyFor(config).mismatchAgainst(r.key);
+    if (!keyMismatch.empty())
+        return refuse(log::format(path, ": ", keyMismatch));
+    if (r.slice.obs.size() > range.unitCount)
+        return refuse(log::format(
+            path, " is inconsistent (", r.slice.obs.size(),
+            " observations for a ", range.unitCount, "-unit range)"));
+    if (r.slice.measured !=
+        r.slice.obs.size() * manifest.sampling.unitSize)
+        return refuse(log::format(
+            path, " is inconsistent (", r.slice.obs.size(),
+            " observations for ", r.slice.measured,
+            " measured instructions at U=",
+            manifest.sampling.unitSize, ")"));
+    if (r.slice.endPos != manifest.streamLength)
+        return refuse(log::format(
+            path, " covers a stream of ", r.slice.endPos,
+            " instructions, not this study's ",
+            manifest.streamLength));
+    return r;
+}
+
 bool
 claimJob(const std::string &dir, std::uint32_t config,
          std::uint32_t shard, const std::string &runnerId,
          double staleSeconds)
 {
+    return claimAt(claimPath(dir, config, shard),
+                   resultPath(dir, config, shard), runnerId,
+                   staleSeconds);
+}
+
+bool
+claimRange(const std::string &dir, std::uint32_t config,
+           const UnitRange &range, const std::string &runnerId,
+           double staleSeconds)
+{
+    return claimAt(claimPathRange(dir, config, range),
+                   resultPathRange(dir, config, range), runnerId,
+                   staleSeconds);
+}
+
+bool
+touchClaim(const std::string &claimFile)
+{
     std::error_code ec;
-    // Already done: nothing to claim.
-    if (fs::exists(resultPath(dir, config, shard), ec))
-        return false;
+    fs::last_write_time(claimFile, fs::file_time_type::clock::now(),
+                        ec);
+    return !ec;
+}
 
-    const std::string claim = claimPath(dir, config, shard);
-    const fs::path claimFile(claim);
-    fs::create_directories(claimFile.parent_path(), ec);
-
-    // Stage the marker under a process-unique temp name.
-    const std::string tmp = tempName(claim, runnerId);
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out << runnerId << " pid=" << ::getpid() << "\n";
-    }
-
-    if (!fs::exists(claimFile, ec)) {
-        // Fresh claim: hard-link is atomic and FAILS if the claim
-        // appeared meanwhile — of N racing runners exactly one
-        // wins.
-        fs::create_hard_link(tmp, claimFile, ec);
-        std::error_code ignore;
-        fs::remove(tmp, ignore);
-        return !ec;
-    }
-
-    // Existing claim: steal only when stale recovery is enabled and
-    // the claim has sat result-less past the threshold. Rename
-    // atomically REPLACES the marker; two racing stealers both
-    // "win" and duplicate the execution — benign, because results
-    // are deterministic and byte-identical.
-    if (staleSeconds >= 0.0) {
-        const auto mtime = fs::last_write_time(claimFile, ec);
-        if (!ec) {
-            const double age =
-                std::chrono::duration<double>(
-                    fs::file_time_type::clock::now() - mtime)
-                    .count();
-            if (age >= staleSeconds) {
-                fs::rename(tmp, claimFile, ec);
-                if (!ec)
-                    return true;
-            }
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+claimOrder(const JobManifest &manifest, const std::string &runnerId)
+{
+    using Job = std::pair<std::uint32_t, std::uint32_t>;
+    std::vector<std::pair<Job, double>> jobs;
+    jobs.reserve(manifest.jobCount());
+    // Weight = a shard's measured-unit count, plus a run-out bonus
+    // for the tail shard: its fast-forward to end of stream spans up
+    // to one inter-unit gap (interval × U instructions) and would
+    // otherwise serialize the study's finish when claimed last.
+    const double tailBonus = manifest.sampling.interval / 10.0;
+    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c)
+        for (std::uint32_t s = 0; s < manifest.plan.size(); ++s) {
+            const core::ShardSpec &shard = manifest.plan[s];
+            jobs.emplace_back(
+                Job{c, s},
+                static_cast<double>(shard.unitCount) +
+                    (shard.runsTail ? tailBonus : 0.0));
         }
-    }
-    std::error_code ignore;
-    fs::remove(tmp, ignore);
-    return false;
+    return weightedOrder(jobs, manifest.studyId, runnerId);
+}
+
+std::vector<std::pair<std::uint32_t, UnitRange>>
+claimOrder(const JobManifest &manifest,
+           const std::vector<UnitRange> &ranges,
+           const std::string &runnerId)
+{
+    using Job = std::pair<std::uint32_t, UnitRange>;
+    std::vector<std::pair<Job, double>> jobs;
+    jobs.reserve(manifest.configs.size() * ranges.size());
+    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c)
+        for (const UnitRange &r : ranges)
+            jobs.emplace_back(Job{c, r},
+                              static_cast<double>(r.unitCount));
+    return weightedOrder(jobs, manifest.studyId, runnerId);
 }
 
 bool
 publishResult(const std::string &dir, const ShardResult &result,
               std::string *error)
 {
-    return result.save(
-        resultPath(dir, result.configIndex, result.shardIndex),
-        error);
+    const std::string path =
+        result.mode == JobMode::UnitRange
+            ? resultPathRange(dir, result.configIndex, result.range)
+            : resultPath(dir, result.configIndex,
+                         result.shardIndex);
+    return result.save(path, error);
 }
 
 } // namespace smarts::distrib

@@ -27,15 +27,32 @@ Runner::awaitManifest(double waitSeconds, std::string *error,
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(waitSeconds);
     PollBackoff backoff(pollMillis);
+    std::string lastRefusal;
     for (;;) {
         std::error_code ec;
-        if (fs::exists(path, ec))
-            return JobManifest::load(path, error);
+        if (fs::exists(path, ec)) {
+            std::string why;
+            if (std::optional<JobManifest> manifest =
+                    JobManifest::load(path, &why))
+                return manifest;
+            // An unloadable manifest is not the end of the wait: it
+            // may be a leftover from an incompatible build the
+            // leader is ABOUT to replace (publishStudy resets such
+            // queues). Keep polling; surface the latest refusal if
+            // nothing loadable appears by the deadline.
+            lastRefusal = std::move(why);
+        }
         if (std::chrono::steady_clock::now() >= deadline) {
             if (error)
-                *error = log::format("no manifest appeared at ",
-                                     path, " within ", waitSeconds,
-                                     "s");
+                *error =
+                    lastRefusal.empty()
+                        ? log::format("no manifest appeared at ",
+                                      path, " within ", waitSeconds,
+                                      "s")
+                        : log::format(
+                              "no loadable manifest at ", path,
+                              " within ", waitSeconds,
+                              "s (last refusal: ", lastRefusal, ")");
             return std::nullopt;
         }
         std::this_thread::sleep_for(
@@ -44,23 +61,100 @@ Runner::awaitManifest(double waitSeconds, std::string *error,
     }
 }
 
+bool
+Runner::tick()
+{
+    if (!heartbeatPath_.empty()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (options_.heartbeatSeconds <= 0.0 ||
+            std::chrono::duration<double>(now - lastBeat_).count() >=
+                options_.heartbeatSeconds) {
+            touchClaim(heartbeatPath_);
+            lastBeat_ = now;
+        }
+    }
+    return !cancelledNow();
+}
+
 std::size_t
 Runner::drain(const JobManifest &manifest)
 {
+    return manifest.mode == JobMode::UnitRange
+               ? drainRanges(manifest)
+               : drainShards(manifest);
+}
+
+std::size_t
+Runner::drainShards(const JobManifest &manifest)
+{
     std::size_t executed = 0;
-    for (std::uint32_t c = 0; c < manifest.configs.size(); ++c) {
-        for (std::uint32_t s = 0; s < manifest.plan.size(); ++s) {
-            if (!claimJob(dir_, c, s, options_.id,
-                          options_.staleClaimSeconds))
+    for (const auto &[c, s] : claimOrder(manifest, options_.id)) {
+        if (cancelledNow())
+            break;
+        if (!claimJob(dir_, c, s, options_.id,
+                      options_.staleClaimSeconds))
+            continue;
+        heartbeatPath_ = claimPath(dir_, c, s);
+        lastBeat_ = std::chrono::steady_clock::now();
+        if (options_.onExecute)
+            options_.onExecute(log::format("c", c, "_s", s));
+        const ShardResult result = execute(manifest, c, s);
+        heartbeatPath_.clear();
+        if (cancelledNow())
+            break; // partial slice: abandon, claim left to age.
+        std::string error;
+        if (!publishResult(dir_, result, &error))
+            SMARTS_FATAL("runner ", options_.id,
+                         ": cannot publish result for job (", c,
+                         ", ", s, "): ", error);
+        ++executed;
+    }
+    return executed;
+}
+
+std::size_t
+Runner::drainRanges(const JobManifest &manifest)
+{
+    std::size_t executed = 0;
+    // Sweep until a full pass claims nothing: the leader may SPLIT
+    // ranges mid-drain (a runner joined), so the live partition is
+    // re-scanned between sweeps.
+    for (;;) {
+        if (cancelledNow())
+            break;
+        const std::vector<UnitRange> ranges = listRanges(dir_);
+        if (ranges.empty())
+            break;
+        std::size_t claimed = 0;
+        for (const auto &[c, r] :
+             claimOrder(manifest, ranges, options_.id)) {
+            if (cancelledNow())
+                return executed;
+            if (!claimRange(dir_, c, r, options_.id,
+                            options_.staleClaimSeconds))
                 continue;
-            const ShardResult result = execute(manifest, c, s);
+            ++claimed;
+            heartbeatPath_ = claimPathRange(dir_, c, r);
+            lastBeat_ = std::chrono::steady_clock::now();
+            if (options_.onExecute)
+                options_.onExecute(log::format("c", c, "_") +
+                                   rangeName(r));
+            const std::optional<ShardResult> result =
+                executeRange(manifest, c, r);
+            heartbeatPath_.clear();
+            if (!result)
+                return executed; // cancelled mid-job: abandon.
             std::string error;
-            if (!publishResult(dir_, result, &error))
+            if (!publishResult(dir_, *result, &error))
                 SMARTS_FATAL("runner ", options_.id,
-                             ": cannot publish result for job (", c,
-                             ", ", s, "): ", error);
+                             ": cannot publish result for job "
+                             "(config ", c, ", units [",
+                             r.firstUnit, ", +", r.unitCount,
+                             ")): ", error);
             ++executed;
         }
+        if (!claimed)
+            break;
     }
     return executed;
 }
@@ -87,8 +181,35 @@ Runner::execute(const JobManifest &manifest, std::uint32_t config,
     result.shardIndex = shard;
     result.key = manifest.keyFor(config);
     result.shard = manifest.plan[shard];
+    result.slice =
+        core::SystematicSampler(manifest.sampling)
+            .runSlice(session, manifest.plan[shard],
+                      [this] { return tick(); });
+    return result;
+}
+
+std::optional<ShardResult>
+Runner::executeRange(const JobManifest &manifest,
+                     std::uint32_t config, const UnitRange &range)
+{
+    const core::LivePointLibrary &library =
+        livePointsFor(manifest, config);
+    core::SimSession session(manifest.benchmark,
+                             manifest.configs[config]);
+
+    ShardResult result;
+    result.studyId = manifest.studyId;
+    result.mode = JobMode::UnitRange;
+    result.configIndex = config;
+    result.range = range;
+    result.key = manifest.keyFor(config);
     result.slice = core::SystematicSampler(manifest.sampling)
-                       .runSlice(session, manifest.plan[shard]);
+                       .measureUnits(session, library,
+                                     range.firstUnit,
+                                     range.unitCount,
+                                     [this] { return tick(); });
+    if (cancelledNow())
+        return std::nullopt;
     return result;
 }
 
@@ -97,6 +218,7 @@ Runner::libraryFor(const JobManifest &manifest, std::uint32_t c)
 {
     if (cachedStudyId_ != manifest.studyId) {
         libraries_.clear();
+        livePointLibraries_.clear();
         cachedStudyId_ = manifest.studyId;
     }
     const auto cached = libraries_.find(c);
@@ -135,6 +257,66 @@ Runner::libraryFor(const JobManifest &manifest, std::uint32_t c)
         SMARTS_WARN("runner ", options_.id, ": could not persist ",
                     store_.pathFor(key), " (", error, ")");
     return libraries_.emplace(c, std::move(built)).first->second;
+}
+
+const core::LivePointLibrary &
+Runner::livePointsFor(const JobManifest &manifest, std::uint32_t c)
+{
+    if (cachedStudyId_ != manifest.studyId) {
+        libraries_.clear();
+        livePointLibraries_.clear();
+        cachedStudyId_ = manifest.studyId;
+    }
+    const auto cached = livePointLibraries_.find(c);
+    if (cached != livePointLibraries_.end())
+        return cached->second;
+
+    const core::LibraryKey key = manifest.keyFor(c);
+    std::string error;
+    bool mismatch = false;
+    if (std::optional<core::LivePointLibrary> loaded =
+            store_.tryLoadLivePoints(key, &error)) {
+        if (loaded->unitCount() == manifest.totalUnits &&
+            loaded->streamLength() == manifest.streamLength)
+            return livePointLibraries_
+                .emplace(c, std::move(*loaded))
+                .first->second;
+        mismatch = true;
+        SMARTS_WARN("runner ", options_.id,
+                    ": stored live-point library ",
+                    store_.livePointPathFor(key), " has ",
+                    loaded->unitCount(), " units over ",
+                    loaded->streamLength(),
+                    " instructions, but the manifest says ",
+                    manifest.totalUnits, " over ",
+                    manifest.streamLength, "; recapturing");
+    } else if (!error.empty()) {
+        SMARTS_WARN("runner ", options_.id, ": recapturing (",
+                    error, ")");
+    }
+
+    // Fallback: capture live-points locally; persist the repair for
+    // a missing or refused file (a healthy-but-mismatched one is
+    // left alone — it may be what another study wants).
+    core::SimSession session(manifest.benchmark,
+                             manifest.configs[c]);
+    core::LivePointLibrary built = core::LivePointLibrary::build(
+        session, manifest.sampling);
+    if (built.unitCount() != manifest.totalUnits ||
+        built.streamLength() != manifest.streamLength)
+        SMARTS_FATAL("runner ", options_.id,
+                     ": locally captured live-points (",
+                     built.unitCount(), " units over ",
+                     built.streamLength(),
+                     " instructions) disagree with the manifest (",
+                     manifest.totalUnits, " over ",
+                     manifest.streamLength,
+                     ") — benchmark sources diverged?");
+    if (!mismatch && !store_.saveLivePoints(built, key, &error))
+        SMARTS_WARN("runner ", options_.id, ": could not persist ",
+                    store_.livePointPathFor(key), " (", error, ")");
+    return livePointLibraries_.emplace(c, std::move(built))
+        .first->second;
 }
 
 } // namespace smarts::distrib

@@ -9,14 +9,24 @@
  * and 5 concurrent runners; duplicate-claim benignity (identical
  * bytes either way); abandoned-claim recovery via the stale-claim
  * window; the runner's capture fallback when the store's library
- * was built under a different shard plan; and the exponential
- * idle-poll backoff (PollBackoff) of the wait loops.
+ * was built under a different shard plan; the exponential
+ * idle-poll backoff (PollBackoff) of the wait loops; the elastic
+ * layer — weighted per-runner claim order, claim heartbeats vs
+ * stealing, the build-fingerprint handshake, unit-range studies
+ * (seeding, splitting, overlapping-result tiling) — and a chaos
+ * drill (runner dies mid-drain, late joiner steals and finishes,
+ * merge stays bit-identical with bounded duplication).
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -190,10 +200,10 @@ testManifestRoundtripAndRefusals()
     // Version bump, resealed: refused by number.
     {
         std::vector<std::uint8_t> bad = good;
-        bad[8] = 2; // version u32 sits right after the 8-byte magic.
+        bad[8] = 3; // version u32 sits right after the 8-byte magic.
         writeFileBytes(path, bad);
         resealChecksum(path);
-        expectRefusal("version bump", "protocol version 2");
+        expectRefusal("version bump", "protocol version 3");
     }
 
     // Bad magic.
@@ -220,6 +230,25 @@ testManifestRoundtripAndRefusals()
         bad.geometryHashes[1] ^= 1;
         CHECK(bad.save(path, &error));
         expectRefusal("foreign geometry hash", "does not reproduce");
+    }
+
+    // Build-fingerprint handshake: planStudy stamps this build's
+    // fingerprint, and a manifest from a diverged build (different
+    // timing model or protocol) refuses at load, naming both
+    // fingerprints.
+    CHECK_EQ(manifest.fingerprint, distrib::buildFingerprint());
+    CHECK_EQ(distrib::buildFingerprint(),
+             distrib::buildFingerprint()); // cached, stable.
+    {
+        distrib::JobManifest bad = manifest;
+        bad.fingerprint ^= 0x5a5a;
+        CHECK(bad.save(path, &error));
+        expectRefusal("fingerprint mismatch", "fingerprint");
+        std::string why;
+        CHECK(!distrib::JobManifest::load(path, &why).has_value());
+        // Diverged-build manifests must keep their own (digested)
+        // study id, so the diagnostic can name the foreign build.
+        CHECK(why.find("diverged") != std::string::npos);
     }
 }
 
@@ -292,10 +321,10 @@ testResultRoundtripAndRefusals()
     // Version bump, resealed.
     {
         std::vector<std::uint8_t> bad = good;
-        bad[8] = 2;
+        bad[8] = 3;
         writeFileBytes(path, bad);
         resealChecksum(path);
-        expectRefusal("version bump", "protocol version 2");
+        expectRefusal("version bump", "protocol version 3");
     }
 
     // Bad magic.
@@ -671,6 +700,366 @@ testPollBackoff()
     CHECK_EQ(found->studyId, manifest.studyId);
 }
 
+void
+testClaimOrderPermutations()
+{
+    const auto cfg8 = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const std::uint64_t length = streamLengthOf(spec, cfg8);
+    const distrib::JobManifest manifest = distrib::planStudy(
+        spec, {cfg8, uarch::MachineConfig::sixteenWay()}, sc, length,
+        4);
+
+    // A claim order is a PERMUTATION of the (config × shard) grid:
+    // every job exactly once, nothing invented.
+    const auto order = distrib::claimOrder(manifest, "runner-a");
+    CHECK_EQ(order.size(), manifest.jobCount());
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen(
+        order.begin(), order.end());
+    CHECK_EQ(seen.size(), order.size());
+    for (const auto &[c, s] : order) {
+        CHECK(c < manifest.configs.size());
+        CHECK(s < manifest.plan.size());
+    }
+
+    // Deterministic per (study, runner id)...
+    CHECK(distrib::claimOrder(manifest, "runner-a") == order);
+
+    // ...and decorrelated across runner ids: with 8 jobs, at least
+    // one of a handful of other ids must probe in a different order
+    // (all identical would defeat the point of per-runner shuffles).
+    bool differs = false;
+    for (int i = 0; i < 8 && !differs; ++i)
+        differs = distrib::claimOrder(
+                      manifest, "runner-b" + std::to_string(i)) !=
+                  order;
+    CHECK(differs);
+
+    // Weight bias: a range 100× heavier than its peers should be
+    // probed FIRST by the overwhelming majority of runners. The ids
+    // are fixed, so this is a deterministic property of the shuffle,
+    // not a flaky statistical one.
+    const std::vector<distrib::UnitRange> ranges = {
+        {0, 1}, {1, 1}, {2, 1}, {3, 100}};
+    const distrib::JobManifest narrow =
+        distrib::planStudy(spec, {cfg8}, sc, length, 4);
+    int bigFirst = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto ro = distrib::claimOrder(
+            narrow, ranges, "weigher-" + std::to_string(i));
+        CHECK_EQ(ro.size(), ranges.size());
+        if (ro.front().second.unitCount == 100)
+            ++bigFirst;
+    }
+    CHECK(bigFirst >= 15);
+}
+
+void
+testHeartbeatAndStealing()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    const distrib::JobManifest manifest = distrib::planStudy(
+        spec, {config}, sc, streamLengthOf(spec, config), 4);
+    resetQueue(manifest);
+
+    const std::string claim = distrib::claimPath(kQueue, 0, 0);
+    auto ageClaim = [&] {
+        fs::last_write_time(claim,
+                            fs::file_time_type::clock::now() -
+                                std::chrono::hours(2));
+    };
+
+    // A FRESH claim is never stolen, however aggressive the window.
+    CHECK(distrib::claimJob(kQueue, 0, 0, "a"));
+    CHECK(!distrib::claimJob(kQueue, 0, 0, "b", 3600.0));
+
+    // Once the claim ages past the window unrefreshed, it steals.
+    ageClaim();
+    CHECK(distrib::claimJob(kQueue, 0, 0, "b", 3600.0));
+    // The thief's claim is fresh again.
+    CHECK(!distrib::claimJob(kQueue, 0, 0, "c", 3600.0));
+
+    // The heartbeat is what separates LIVE long jobs from dead
+    // ones: an aged claim its holder touchClaim()ed is fresh and
+    // must NOT steal...
+    ageClaim();
+    CHECK(distrib::touchClaim(claim));
+    CHECK(!distrib::claimJob(kQueue, 0, 0, "c", 3600.0));
+
+    // ...while one never refreshed again does.
+    ageClaim();
+    CHECK(distrib::claimJob(kQueue, 0, 0, "c", 3600.0));
+}
+
+void
+testAwaitManifestPollsThroughRefusals()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const distrib::JobManifest manifest =
+        distrib::planStudy(spec, {config}, defaultSampling(),
+                           streamLengthOf(spec, config), 2);
+
+    // Plant an UNLOADABLE manifest: a leftover from an incompatible
+    // build that the leader is about to replace.
+    fs::remove_all(kQueue);
+    fs::create_directories(kQueue);
+    writeFileBytes(distrib::manifestPath(kQueue),
+                   {'g', 'a', 'r', 'b', 'a', 'g', 'e'});
+
+    distrib::Runner runner(kQueue, kStore, {"waiter", -1.0});
+    std::string error;
+
+    // The refusal does NOT end the wait early; on timeout the error
+    // surfaces the last refusal instead of claiming no manifest.
+    CHECK(!runner.awaitManifest(0.0, &error, 10.0).has_value());
+    CHECK(error.find("last refusal") != std::string::npos);
+
+    // A leader replacing the garbage mid-wait is picked up by the
+    // same polling loop.
+    std::thread leader([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(150));
+        std::string publishError;
+        CHECK(distrib::publishStudy(kQueue, manifest,
+                                    &publishError));
+    });
+    const auto found =
+        runner.awaitManifest(/*waitSeconds=*/30.0, &error,
+                             /*pollMillis=*/20.0);
+    leader.join();
+    CHECK(found.has_value());
+    CHECK_EQ(found->studyId, manifest.studyId);
+}
+
+void
+testUnitRangeStudy()
+{
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+
+    core::CheckpointStore store(kStore);
+    const distrib::LivePointPlan plan =
+        distrib::ensureStudyLivePoints(store, spec, {config}, sc);
+    CHECK(plan.totalUnits > 12);
+    CHECK(plan.streamLength > 0);
+
+    const distrib::JobManifest manifest = distrib::planUnitStudy(
+        spec, {config}, sc, plan.streamLength, plan.totalUnits, 6);
+    CHECK(manifest.mode == distrib::JobMode::UnitRange);
+    CHECK_EQ(manifest.ranges.size(), std::size_t(6));
+    CHECK_EQ(manifest.jobCount(), std::size_t(6));
+    CHECK(manifest.plan.empty());
+    {
+        // The seed partition tiles [0, totalUnits) exactly.
+        std::uint64_t cursor = 0;
+        for (const distrib::UnitRange &r : manifest.ranges) {
+            CHECK_EQ(r.firstUnit, cursor);
+            cursor += r.unitCount;
+        }
+        CHECK_EQ(cursor, plan.totalUnits);
+    }
+
+    const core::SmartsEstimate serial = serialRun(spec, config, sc);
+
+    // The manifest roundtrips (mode, totalUnits and ranges intact).
+    resetQueue(manifest);
+    {
+        std::string error;
+        const auto loaded = distrib::JobManifest::load(
+            distrib::manifestPath(kQueue), &error);
+        CHECK(loaded.has_value());
+        CHECK(loaded->mode == distrib::JobMode::UnitRange);
+        CHECK_EQ(loaded->totalUnits, plan.totalUnits);
+        CHECK(loaded->ranges == manifest.ranges);
+    }
+    // publishStudy seeded the live partition markers.
+    CHECK_EQ(distrib::listRanges(kQueue).size(),
+             manifest.ranges.size());
+
+    // One runner drains the whole study; the tiled merge is
+    // bit-identical to serial run().
+    for (const std::size_t runners :
+         {std::size_t(1), std::size_t(2)}) {
+        resetQueue(manifest);
+        std::vector<std::thread> crew;
+        std::vector<std::size_t> executed(runners, 0);
+        for (std::size_t r = 0; r < runners; ++r)
+            crew.emplace_back([&, r] {
+                distrib::Runner runner(
+                    kQueue, kStore,
+                    {"unit-crew-" + std::to_string(r), -1.0});
+                executed[r] = runner.drain(manifest);
+            });
+        for (std::thread &t : crew)
+            t.join();
+        std::size_t total = 0;
+        for (const std::size_t n : executed)
+            total += n;
+        CHECK_EQ(total, manifest.jobCount());
+        CHECK(distrib::studyComplete(kQueue, manifest));
+        std::string error;
+        const auto merged =
+            distrib::mergeStudy(kQueue, manifest, &error);
+        CHECK(merged.has_value());
+        CHECK(fingerprint(merged->front()) == fingerprint(serial));
+    }
+
+    // Splitting re-grains the live partition; the result
+    // granularity changes but the tiled merge stays bit-identical.
+    resetQueue(manifest);
+    CHECK(distrib::splitRemainingRanges(kQueue, manifest, 1) > 0);
+    CHECK(distrib::listRanges(kQueue).size() >
+          manifest.ranges.size());
+    {
+        distrib::Runner runner(kQueue, kStore,
+                               {"post-split", -1.0});
+        CHECK(runner.drain(manifest) > 0);
+        CHECK(distrib::studyComplete(kQueue, manifest));
+        std::string error;
+        const auto merged =
+            distrib::mergeStudy(kQueue, manifest, &error);
+        CHECK(merged.has_value());
+        CHECK(fingerprint(merged->front()) == fingerprint(serial));
+    }
+
+    // A claimed or completed range never splits.
+    resetQueue(manifest);
+    CHECK(distrib::claimRange(kQueue, 0, manifest.ranges[0],
+                              "holder"));
+    const std::size_t splits =
+        distrib::splitRemainingRanges(kQueue, manifest, 1);
+    CHECK(splits > 0);
+    bool parentSurvives = false;
+    for (const distrib::UnitRange &r : distrib::listRanges(kQueue))
+        parentSurvives |= r == manifest.ranges[0];
+    CHECK(parentSurvives);
+
+    // OVERLAPPING results — a parent range published by a racing
+    // claimant plus children published after a split — still tile
+    // into the bit-identical estimate (largest-at-cursor wins).
+    {
+        distrib::Runner racer(kQueue, kStore, {"racer", -1.0});
+        const distrib::UnitRange parent = manifest.ranges[0];
+        const auto parentResult =
+            racer.executeRange(manifest, 0, parent);
+        CHECK(parentResult.has_value());
+        std::string error;
+        CHECK(distrib::publishResult(kQueue, *parentResult,
+                                     &error));
+        const distrib::UnitRange childA{parent.firstUnit,
+                                        parent.unitCount / 2};
+        const distrib::UnitRange childB{
+            parent.firstUnit + parent.unitCount / 2,
+            parent.unitCount - parent.unitCount / 2};
+        const auto ra = racer.executeRange(manifest, 0, childA);
+        const auto rb = racer.executeRange(manifest, 0, childB);
+        CHECK(ra.has_value() && rb.has_value());
+        CHECK(distrib::publishResult(kQueue, *ra, &error));
+        CHECK(distrib::publishResult(kQueue, *rb, &error));
+
+        distrib::Runner rest(kQueue, kStore, {"rest", 0.0});
+        rest.drain(manifest);
+        CHECK(distrib::studyComplete(kQueue, manifest));
+        const auto merged =
+            distrib::mergeStudy(kQueue, manifest, &error);
+        CHECK(merged.has_value());
+        CHECK(fingerprint(merged->front()) == fingerprint(serial));
+    }
+}
+
+void
+testChaosElasticity()
+{
+    // The chaos drill: one runner DIES mid-drain (cooperative
+    // cancel between units — its partial job is abandoned, never
+    // published), a second joins LATE with a tight steal window,
+    // and the merged study must still be bit-identical to serial
+    // with a bounded execution count per job.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("fsm-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+
+    core::CheckpointStore store(kStore);
+    const distrib::LivePointPlan plan =
+        distrib::ensureStudyLivePoints(store, spec, {config}, sc);
+    const distrib::JobManifest manifest = distrib::planUnitStudy(
+        spec, {config}, sc, plan.streamLength, plan.totalUnits, 5);
+    resetQueue(manifest);
+    const core::SmartsEstimate serial = serialRun(spec, config, sc);
+
+    std::mutex tallyMutex;
+    std::map<std::string, int> tally;
+    auto count = [&](const std::string &job) {
+        std::lock_guard<std::mutex> lock(tallyMutex);
+        ++tally[job];
+    };
+
+    // Runner A dies as its SECOND job starts: the cancel hook trips
+    // after two onExecute calls, so job 2's claim is left behind
+    // with no result — exactly what a crashed host looks like.
+    std::atomic<int> started{0};
+    distrib::RunnerOptions aOpt;
+    aOpt.id = "chaos-a";
+    aOpt.heartbeatSeconds = 0.0; // heartbeat every unit.
+    aOpt.cancelled = [&] { return started.load() >= 2; };
+    aOpt.onExecute = [&](const std::string &job) {
+        ++started;
+        count(job);
+    };
+    std::thread victim([&] {
+        distrib::Runner a(kQueue, kStore, aOpt);
+        a.drain(manifest);
+    });
+    victim.join();
+    CHECK_EQ(started.load(), 2);
+    CHECK(!distrib::studyComplete(kQueue, manifest));
+
+    // Runner B joins late, steals the abandoned claim once it ages
+    // past the (tight) window, and finishes the study.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    distrib::RunnerOptions bOpt;
+    bOpt.id = "chaos-b";
+    bOpt.staleClaimSeconds = 0.4;
+    bOpt.onExecute = count;
+    distrib::Runner b(kQueue, kStore, bOpt);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(300);
+    while (!distrib::studyComplete(kQueue, manifest)) {
+        CHECK(std::chrono::steady_clock::now() < deadline);
+        b.drain(manifest);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+    }
+
+    // Bounded duplication: the abandoned job ran at most twice
+    // (once per claimant), every other job exactly once.
+    int over = 0, twice = 0;
+    for (const auto &[job, n] : tally) {
+        if (n > 2)
+            ++over;
+        if (n == 2)
+            ++twice;
+    }
+    CHECK_EQ(over, 0);
+    CHECK(twice <= 1);
+
+    std::string error;
+    const auto merged =
+        distrib::mergeStudy(kQueue, manifest, &error);
+    CHECK(merged.has_value());
+    CHECK(fingerprint(merged->front()) == fingerprint(serial));
+}
+
 } // namespace
 
 int
@@ -687,5 +1076,10 @@ main()
     testClaimsDuplicatesAndRecovery();
     testStorePlanMismatchFallback();
     testPollBackoff();
+    testClaimOrderPermutations();
+    testHeartbeatAndStealing();
+    testAwaitManifestPollsThroughRefusals();
+    testUnitRangeStudy();
+    testChaosElasticity();
     TEST_MAIN_SUMMARY();
 }

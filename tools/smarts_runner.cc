@@ -20,7 +20,15 @@
  *   smarts_runner --leader --dir=queue --store=store \
  *       --benchmark=sort-1 --scale=mini --machine=8 [--shards=8] \
  *       [--unit=1000] [--warm=2000] [--interval=0 (auto)] \
- *       [--offset=0] [--timeout=600] [--no-work] [--serial-check]
+ *       [--offset=0] [--timeout=600] [--no-work] [--serial-check] \
+ *       [--mode=shard|units] [--jobs=N]
+ *
+ * --mode=units publishes unit-range jobs over the store's live-point
+ * libraries instead of checkpoint shards: the live partition under
+ * <queue>/ranges/ re-grains as runners join (collectStudy splits
+ * remaining ranges), and the tiling merge stays bit-identical to
+ * serial run() through any split history. --jobs seeds the initial
+ * range count (default 2 x --shards).
  *
  * The queue directory is plain files — share it over NFS, rsync, or
  * any mounted filesystem; runners on other hosts only need the same
@@ -72,6 +80,8 @@ struct Options
     double timeout = 600.0;
     bool work = true;
     bool serialCheck = false;
+    distrib::JobMode mode = distrib::JobMode::Shard;
+    std::size_t jobs = 0; ///< 0 = auto (2 x shards).
 };
 
 [[noreturn]] void
@@ -88,6 +98,7 @@ usage(const char *argv0)
         "[--interval=<k>|0=auto] [--offset=<j>]\n"
         "      [--shards=<S>] [--timeout=<s>] [--poll-ms=<ms>] "
         "[--no-work] [--serial-check]\n"
+        "      [--mode=shard|units] [--jobs=<N>]\n"
         "see docs/distributed-runners.md\n",
         argv0, argv0);
     std::exit(2);
@@ -152,6 +163,16 @@ parse(int argc, char **argv)
             opt.pollMs = std::atof(v15);
             if (opt.pollMs <= 0.0)
                 SMARTS_FATAL("--poll-ms must be positive");
+        } else if (const char *v16 = value("--mode=")) {
+            if (!std::strcmp(v16, "shard"))
+                opt.mode = distrib::JobMode::Shard;
+            else if (!std::strcmp(v16, "units"))
+                opt.mode = distrib::JobMode::UnitRange;
+            else
+                SMARTS_FATAL("unknown mode '", v16,
+                             "' (expected shard|units)");
+        } else if (const char *v17 = value("--jobs=")) {
+            opt.jobs = std::strtoull(v17, nullptr, 10);
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n",
                          arg.c_str());
@@ -185,8 +206,7 @@ runnerMain(const Options &opt)
         return 1;
     }
     std::printf("smarts_runner %s: study %016llx — %s at U=%llu "
-                "W=%llu k=%llu j=%llu, %zu config(s) x %zu "
-                "shard(s)\n",
+                "W=%llu k=%llu j=%llu, %zu config(s) x %zu %s\n",
                 opt.id.c_str(),
                 static_cast<unsigned long long>(manifest->studyId),
                 manifest->benchmark.name.c_str(),
@@ -198,7 +218,13 @@ runnerMain(const Options &opt)
                     manifest->sampling.interval),
                 static_cast<unsigned long long>(
                     manifest->sampling.offset),
-                manifest->configs.size(), manifest->plan.size());
+                manifest->configs.size(),
+                manifest->mode == distrib::JobMode::UnitRange
+                    ? manifest->ranges.size()
+                    : manifest->plan.size(),
+                manifest->mode == distrib::JobMode::UnitRange
+                    ? "unit-range(s)"
+                    : "shard(s)");
 
     const std::size_t executed = runner.drain(*manifest);
     std::printf("smarts_runner %s: executed %zu of %zu job(s)\n",
@@ -239,12 +265,24 @@ leaderMain(const Options &opt)
             : core::SamplingConfig::chooseInterval(
                   length, sc.unitSize, length / sc.unitSize / 4);
 
-    const distrib::JobManifest manifest = distrib::planStudy(
-        spec, configs, sc, length, opt.shards);
+    core::CheckpointStore store(opt.store);
+    distrib::JobManifest manifest;
+    if (opt.mode == distrib::JobMode::UnitRange) {
+        const distrib::LivePointPlan plan =
+            distrib::ensureStudyLivePoints(store, spec, configs, sc);
+        const std::size_t jobs =
+            opt.jobs ? opt.jobs : 2 * opt.shards;
+        manifest = distrib::planUnitStudy(spec, configs, sc,
+                                          plan.streamLength,
+                                          plan.totalUnits, jobs);
+    } else {
+        manifest =
+            distrib::planStudy(spec, configs, sc, length, opt.shards);
+    }
 
     std::printf("leader: study %016llx — %s (%.1f M insts) at "
                 "U=%llu W=%llu k=%llu j=%llu; %zu config(s) x %zu "
-                "shard(s) = %zu jobs\n",
+                "%s = %zu jobs\n",
                 static_cast<unsigned long long>(manifest.studyId),
                 spec.name.c_str(),
                 static_cast<double>(length) / 1e6,
@@ -252,12 +290,17 @@ leaderMain(const Options &opt)
                 static_cast<unsigned long long>(sc.detailedWarming),
                 static_cast<unsigned long long>(sc.interval),
                 static_cast<unsigned long long>(sc.offset),
-                manifest.configs.size(), manifest.plan.size(),
+                manifest.configs.size(),
+                manifest.mode == distrib::JobMode::UnitRange
+                    ? manifest.ranges.size()
+                    : manifest.plan.size(),
+                manifest.mode == distrib::JobMode::UnitRange
+                    ? "unit-range(s)"
+                    : "shard(s)",
                 manifest.jobCount());
 
     // Ship the store BEFORE publishing the manifest: runners that
     // pounce on the manifest find every resume library in place.
-    core::CheckpointStore store(opt.store);
     const std::size_t captured =
         distrib::ensureStudyStore(store, manifest);
     std::printf("leader: store %s ready (%zu librar%s captured)\n",
