@@ -766,9 +766,10 @@ distribScaleSection(const BenchOptions &opt)
             std::vector<std::thread> crew;
             for (std::size_t r = 0; r < counts[i]; ++r)
                 crew.emplace_back([&, r] {
-                    distrib::Runner runner(
-                        queue, root,
-                        {"scale-" + std::to_string(r), -1.0});
+                    distrib::RunnerOptions options;
+                    options.id = "scale-" + std::to_string(r);
+                    options.staleClaimSeconds = -1.0;
+                    distrib::Runner runner(queue, root, options);
                     runner.drain(manifest);
                 });
             for (std::thread &t2 : crew)

@@ -154,6 +154,9 @@ class Runner
 
     /** Claim marker of the job in flight ('' when idle). */
     std::string heartbeatPath_;
+    // smarts-lint: allow(no-ambient-nondeterminism) monotonic
+    // heartbeat stamp: throttles claim-marker mtime refreshes and
+    // is never serialized or folded into an estimate.
     std::chrono::steady_clock::time_point lastBeat_{};
 
     /**

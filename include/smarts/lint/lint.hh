@@ -1,0 +1,84 @@
+/**
+ * @file
+ * smarts_lint: a repo-specific static-analysis pass that turns the
+ * determinism and serialization contracts every headline result
+ * rests on (docs/determinism-contracts.md) into build failures.
+ *
+ * The checks are source-level and heuristic by design — this is a
+ * contract linter for THIS codebase's idioms (BinaryWriter/Reader
+ * serializers, checksummed load paths, OnlineStats folds), not a
+ * general C++ analyzer. Every check is individually toggleable and
+ * every diagnostic can be suppressed at the violation site with
+ *
+ *     // smarts-lint: allow(<check>) <one-line justification>
+ *
+ * on the flagged line or the line above it. A suppression with no
+ * justification is itself a diagnostic: the point is a tree where
+ * every exception to a contract says why it is safe.
+ */
+
+#ifndef SMARTS_LINT_LINT_HH
+#define SMARTS_LINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace smarts::lint {
+
+/** One contract violation, anchored to a source line. */
+struct Diagnostic
+{
+    std::string check; ///< check name, e.g. "no-unordered-iteration".
+    std::string file;
+    int line = 0;
+    std::string message;
+};
+
+/** Which checks to run; both empty means "all of them". */
+struct Options
+{
+    std::vector<std::string> enabled;  ///< if non-empty, only these.
+    std::vector<std::string> disabled; ///< always skipped.
+};
+
+/** Aggregate result of a lint pass. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    int filesScanned = 0;
+    int suppressionsHonored = 0;
+
+    bool clean() const { return diagnostics.empty(); }
+};
+
+/** The five contract checks, in documentation order. */
+const std::vector<std::string> &checkNames();
+
+/** True for a contract check name or the "suppression" meta check. */
+bool knownCheck(const std::string &name);
+
+/**
+ * Collect the lintable sources under @p root: every .hh/.cc beneath
+ * root/include and root/src, sorted for stable diagnostic order.
+ * Returns false (with @p error set) when neither directory exists.
+ */
+bool collectTreeSources(const std::string &root,
+                        std::vector<std::string> &paths,
+                        std::string *error);
+
+/**
+ * Run the enabled checks over @p paths. Serializer-completeness
+ * resolves out-of-class write/read definitions across the whole
+ * file set, so pass every file of interest in one call. Unreadable
+ * files produce a "suppression"-style I/O diagnostic rather than
+ * aborting the pass.
+ */
+Report lintFiles(const std::vector<std::string> &paths,
+                 const Options &options);
+
+/** "file:line: [check] message" — the one true diagnostic format. */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace smarts::lint
+
+#endif // SMARTS_LINT_LINT_HH

@@ -22,7 +22,12 @@ class OnlineStats
     {
         ++count_;
         const double delta = x - mean_;
+        // smarts-lint: allow(float-fold-discipline) Welford update:
+        // OnlineStats IS the blessed reducer this check routes
+        // merge paths through; adds arrive in stream order.
         mean_ += delta / static_cast<double>(count_);
+        // smarts-lint: allow(float-fold-discipline) Welford update
+        // (second moment), same stream-order contract as mean_.
         m2_ += delta * (x - mean_);
     }
 
@@ -79,7 +84,13 @@ class OnlineStats
         const double na = static_cast<double>(count_);
         const double nb = static_cast<double>(other.count_);
         const double n = na + nb;
+        // smarts-lint: allow(float-fold-discipline) Chan parallel
+        // merge of two Welford states; callers merge slices in
+        // deterministic stream order (foldSlice), so the fold tree
+        // is fixed and offset-invariant.
         mean_ += delta * nb / n;
+        // smarts-lint: allow(float-fold-discipline) Chan merge of
+        // the second moment, same fixed fold tree as mean_.
         m2_ += other.m2_ + delta * delta * na * nb / n;
         count_ += other.count_;
     }

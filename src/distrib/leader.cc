@@ -397,6 +397,9 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
              std::string *error, double pollMillis)
 {
     const auto deadline =
+        // smarts-lint: allow(no-ambient-nondeterminism) the collect
+        // deadline bounds polling; merged estimates stay a pure
+        // function of the manifest regardless of when results land.
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(timeoutSeconds);
     PollBackoff backoff(pollMillis);
@@ -441,6 +444,9 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
                 backoff.reset();
                 continue;
             }
+            // smarts-lint: allow(no-ambient-nondeterminism) a
+            // collect timeout refuses the study (no partial
+            // merge), so wall time never shapes results.
             if (std::chrono::steady_clock::now() >= deadline) {
                 if (error)
                     *error = log::format(
@@ -454,6 +460,9 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
             // Idle poll: back off exponentially so a long wait for
             // remote runners does not hammer the shared directory.
             std::this_thread::sleep_for(
+                // smarts-lint: allow(no-ambient-nondeterminism) a
+                // pacing sleep; collection order cannot change the
+                // stream-order refold.
                 std::chrono::duration<double, std::milli>(
                     backoff.nextMs()));
         }
@@ -519,6 +528,9 @@ collectStudy(const std::string &dir, const JobManifest &manifest,
         if (quarantined)
             backoff.reset();
         if (!quarantined ||
+            // smarts-lint: allow(no-ambient-nondeterminism) give-up
+            // deadline on a quarantined result: expiry refuses the
+            // whole study, never merges a partial one.
             std::chrono::steady_clock::now() >= deadline) {
             if (error)
                 *error = std::move(why);

@@ -213,9 +213,15 @@ claimAt(const std::string &claim, const std::string &result,
     // duplicate the execution — benign, because results are
     // deterministic and byte-identical.
     if (staleSeconds >= 0.0) {
+        // smarts-lint: allow(no-ambient-nondeterminism) claim age
+        // from marker mtime gates STEALING only; a wrong steal
+        // duplicates deterministic work, it cannot skew it.
         const auto mtime = fs::last_write_time(claimFile, ec);
         if (!ec) {
             const double age =
+                // smarts-lint: allow(no-ambient-nondeterminism) a
+                // staleness window; wall clock decides who
+                // executes, never what the execution computes.
                 std::chrono::duration<double>(
                     fs::file_time_type::clock::now() - mtime)
                     .count();
@@ -838,6 +844,9 @@ bool
 touchClaim(const std::string &claimFile)
 {
     std::error_code ec;
+    // smarts-lint: allow(no-ambient-nondeterminism) heartbeat =
+    // claim-marker mtime refresh; liveness metadata only, results
+    // are byte-identical whoever holds the claim.
     fs::last_write_time(claimFile, fs::file_time_type::clock::now(),
                         ec);
     return !ec;

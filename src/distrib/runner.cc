@@ -24,6 +24,9 @@ Runner::awaitManifest(double waitSeconds, std::string *error,
 {
     const std::string path = manifestPath(dir_);
     const auto deadline =
+        // smarts-lint: allow(no-ambient-nondeterminism) the manifest
+        // wait deadline bounds how long the runner polls; expiry
+        // refuses rather than degrading any result.
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(waitSeconds);
     PollBackoff backoff(pollMillis);
@@ -42,6 +45,9 @@ Runner::awaitManifest(double waitSeconds, std::string *error,
             // nothing loadable appears by the deadline.
             lastRefusal = std::move(why);
         }
+        // smarts-lint: allow(no-ambient-nondeterminism) manifest
+        // wait deadline: a timeout REFUSES (no partial results),
+        // so wall time only decides between answer and error.
         if (std::chrono::steady_clock::now() >= deadline) {
             if (error)
                 *error =
@@ -56,6 +62,9 @@ Runner::awaitManifest(double waitSeconds, std::string *error,
             return std::nullopt;
         }
         std::this_thread::sleep_for(
+            // smarts-lint: allow(no-ambient-nondeterminism) poll
+            // backoff sleep paces queue-directory scans; it cannot
+            // reach an estimate or a serialized byte.
             std::chrono::duration<double, std::milli>(
                 backoff.nextMs()));
     }
@@ -65,8 +74,13 @@ bool
 Runner::tick()
 {
     if (!heartbeatPath_.empty()) {
+        // smarts-lint: allow(no-ambient-nondeterminism) heartbeat
+        // throttle: decides WHEN to refresh a claim marker's
+        // mtime, never what any job computes.
         const auto now = std::chrono::steady_clock::now();
         if (options_.heartbeatSeconds <= 0.0 ||
+            // smarts-lint: allow(no-ambient-nondeterminism) an
+            // elapsed-since-last-beat compare, pacing only.
             std::chrono::duration<double>(now - lastBeat_).count() >=
                 options_.heartbeatSeconds) {
             touchClaim(heartbeatPath_);
@@ -95,6 +109,9 @@ Runner::drainShards(const JobManifest &manifest)
                       options_.staleClaimSeconds))
             continue;
         heartbeatPath_ = claimPath(dir_, c, s);
+        // smarts-lint: allow(no-ambient-nondeterminism) heartbeat
+        // epoch for claim-liveness only; duplicated or stolen jobs
+        // re-execute deterministically to identical bytes.
         lastBeat_ = std::chrono::steady_clock::now();
         if (options_.onExecute)
             options_.onExecute(log::format("c", c, "_s", s));
@@ -135,6 +152,9 @@ Runner::drainRanges(const JobManifest &manifest)
                 continue;
             ++claimed;
             heartbeatPath_ = claimPathRange(dir_, c, r);
+            // smarts-lint: allow(no-ambient-nondeterminism) the
+            // heartbeat epoch is claim-liveness only; which units
+            // run where never changes their byte-exact results.
             lastBeat_ = std::chrono::steady_clock::now();
             if (options_.onExecute)
                 options_.onExecute(log::format("c", c, "_") +

@@ -43,10 +43,16 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs)
             sampling.offset = rng.below(sampling.interval);
         }
 
+        // smarts-lint: allow(no-ambient-nondeterminism) wall-clock
+        // job timing is the runtime REPORT of this engine; it is
+        // derived from, never fed into, the estimate.
         const auto start = std::chrono::steady_clock::now();
         core::MultiSession session(spec.benchmark, spec.configs);
         out.estimate =
             core::SystematicSampler(sampling).runMatched(session);
+        // smarts-lint: allow(no-ambient-nondeterminism) elapsed
+        // seconds ride in ExperimentResult::seconds for speedup
+        // tables only; estimates fold from counters alone.
         out.seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();

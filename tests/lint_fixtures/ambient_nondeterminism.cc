@@ -1,0 +1,20 @@
+/**
+ * @file
+ * smarts_lint fixture: ambient clock and libc randomness reads must
+ * fire no-ambient-nondeterminism in any file, no scoping needed.
+ */
+
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+inline double
+sampleOffset()
+{
+    const auto now = std::chrono::steady_clock::now();
+    (void)now;
+    return static_cast<double>(rand());
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * smarts_lint fixture: a tryLoad* routine in load scope (the file
+ * name contains "checkpoint") that decodes payload bytes before any
+ * checksum/magic validation must fire checksum-before-use.
+ */
+
+#include <cstdint>
+#include <optional>
+
+namespace util {
+class BinaryReader;
+} // namespace util
+
+namespace fixture {
+
+struct Blob
+{
+    std::uint64_t ticks = 0;
+};
+
+inline std::optional<Blob>
+tryLoadBlob(util::BinaryReader &in)
+{
+    Blob blob;
+    blob.ticks = in.u64();
+    return blob;
+}
+
+} // namespace fixture

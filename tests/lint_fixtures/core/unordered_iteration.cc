@@ -1,0 +1,30 @@
+/**
+ * @file
+ * smarts_lint fixture: iterating an unordered container in
+ * determinism scope (the path contains /core/) must fire
+ * no-unordered-iteration. Never compiled into the build — the
+ * linter is lexical, so this file only needs to read like the code
+ * it polices.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct HistogramMerge
+{
+    std::unordered_map<std::string, std::uint64_t> counts;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &entry : counts)
+            sum += entry.second;
+        return sum;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * smarts_lint fixture: bare double accumulation on a merge path
+ * (opted in via the merge-path marker below) must fire
+ * float-fold-discipline, both for += and for std::accumulate.
+ */
+
+// smarts-lint: merge-path
+
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+inline double
+foldCpi(const std::vector<double> &perShard)
+{
+    double sum = 0.0;
+    for (double v : perShard)
+        sum += v;
+    const double alt =
+        std::accumulate(perShard.begin(), perShard.end(), 0.0);
+    return sum + alt;
+}
+
+} // namespace fixture

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * smarts_lint fixture: a state struct whose write()/read() skip a
+ * field (PartialState::loads) and one whose read order disagrees
+ * with its write order (SwappedState) must both fire
+ * serializer-completeness.
+ */
+
+#include <cstdint>
+
+namespace util {
+class BinaryWriter;
+class BinaryReader;
+} // namespace util
+
+namespace fixture {
+
+struct PartialState
+{
+    std::uint64_t ticks = 0;
+    std::uint64_t loads = 0;
+    double cpi = 0.0;
+
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.u64(ticks);
+        out.f64(cpi);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        ticks = in.u64();
+        cpi = in.f64();
+    }
+};
+
+struct SwappedState
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.u64(hits);
+        out.u64(misses);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        misses = in.u64();
+        hits = in.u64();
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * smarts_lint fixture: a clock read carrying a justified allow()
+ * suppression must lint clean — this file exercises the suppression
+ * path end to end and must produce zero diagnostics.
+ */
+
+#include <chrono>
+
+namespace fixture {
+
+inline long
+nowTicks()
+{
+    // smarts-lint: allow(no-ambient-nondeterminism) fixture: proves
+    // a justified suppression silences the diagnostic.
+    return std::chrono::steady_clock::now()
+        .time_since_epoch()
+        .count();
+}
+
+} // namespace fixture

@@ -51,6 +51,21 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/**
+ * RunnerOptions with only the fields the tests vary: names every
+ * runner and sets the steal window, leaving the hooks defaulted
+ * (spelled out so -Wmissing-field-initializers stays quiet under
+ * -Wextra -Werror).
+ */
+distrib::RunnerOptions
+runnerOpts(std::string id, double staleSeconds)
+{
+    distrib::RunnerOptions options;
+    options.id = std::move(id);
+    options.staleClaimSeconds = staleSeconds;
+    return options;
+}
+
 const char *kQueue = "test_distrib_queue";
 const char *kStore = "test_distrib_store";
 
@@ -266,7 +281,7 @@ testResultRoundtripAndRefusals()
     core::CheckpointStore store(kStore);
     distrib::ensureStudyStore(store, manifest);
 
-    distrib::Runner runner(kQueue, kStore, {"roundtrip", -1.0});
+    distrib::Runner runner(kQueue, kStore, runnerOpts("roundtrip", -1.0));
     const distrib::ShardResult produced =
         runner.execute(manifest, 0, 1);
     CHECK_EQ(produced.studyId, manifest.studyId);
@@ -431,7 +446,7 @@ testMergeBitIdentityAtRunnerCounts()
             crew.emplace_back([&, r] {
                 distrib::Runner runner(
                     kQueue, kStore,
-                    {"crew-" + std::to_string(r), -1.0});
+                    runnerOpts("crew-" + std::to_string(r), -1.0));
                 executed[r] = runner.drain(manifest);
             });
         for (std::thread &t : crew)
@@ -454,7 +469,7 @@ testMergeBitIdentityAtRunnerCounts()
 
     // collectStudy with a helping leader needs no runners at all.
     resetQueue(manifest);
-    distrib::Runner helper(kQueue, kStore, {"solo-leader", -1.0});
+    distrib::Runner helper(kQueue, kStore, runnerOpts("solo-leader", -1.0));
     std::string error;
     const auto collected = distrib::collectStudy(
         kQueue, manifest, /*timeoutSeconds=*/300.0, &helper, &error);
@@ -518,8 +533,8 @@ testClaimsDuplicatesAndRecovery()
     // the same job publish BYTE-IDENTICAL result files (that is
     // what makes lost claim races and stale-claim stealing safe).
     {
-        distrib::Runner a(kQueue, kStore, {"dup-a", -1.0});
-        distrib::Runner b(kQueue, kStore, {"dup-b", -1.0});
+        distrib::Runner a(kQueue, kStore, runnerOpts("dup-a", -1.0));
+        distrib::Runner b(kQueue, kStore, runnerOpts("dup-b", -1.0));
         const distrib::ShardResult ra = a.execute(manifest, 0, 1);
         const distrib::ShardResult rb = b.execute(manifest, 0, 1);
         util::BinaryWriter wa, wb;
@@ -544,7 +559,7 @@ testClaimsDuplicatesAndRecovery()
 
     // A polite runner (no stealing) completes everything EXCEPT the
     // abandoned job, and the merge refuses the incomplete study.
-    distrib::Runner polite(kQueue, kStore, {"polite", -1.0});
+    distrib::Runner polite(kQueue, kStore, runnerOpts("polite", -1.0));
     CHECK_EQ(polite.drain(manifest), manifest.jobCount() - 1);
     std::string error;
     CHECK(!distrib::mergeStudy(kQueue, manifest, &error).has_value());
@@ -552,7 +567,7 @@ testClaimsDuplicatesAndRecovery()
     // A recovery runner with a zero stale window steals the
     // abandoned claim; now the study completes and merges
     // bit-identically to serial.
-    distrib::Runner recovery(kQueue, kStore, {"recovery", 0.0});
+    distrib::Runner recovery(kQueue, kStore, runnerOpts("recovery", 0.0));
     CHECK_EQ(recovery.drain(manifest), std::size_t(1));
     const auto merged = distrib::mergeStudy(kQueue, manifest, &error);
     CHECK(merged.has_value());
@@ -572,7 +587,7 @@ testClaimsDuplicatesAndRecovery()
         CHECK(!distrib::mergeStudy(kQueue, manifest, &error)
                    .has_value());
 
-        distrib::Runner healer(kQueue, kStore, {"healer", -1.0});
+        distrib::Runner healer(kQueue, kStore, runnerOpts("healer", -1.0));
         const auto healed = distrib::collectStudy(
             kQueue, manifest, /*timeoutSeconds=*/300.0, &healer,
             &error);
@@ -612,7 +627,7 @@ testStorePlanMismatchFallback()
     const distrib::JobManifest manifest =
         distrib::planStudy(spec, {config}, sc, length, 3);
     resetQueue(manifest);
-    distrib::Runner runner(kQueue, kStore, {"fallback", -1.0});
+    distrib::Runner runner(kQueue, kStore, runnerOpts("fallback", -1.0));
     CHECK_EQ(runner.drain(manifest), manifest.jobCount());
 
     std::string error;
@@ -641,7 +656,7 @@ testStorePlanMismatchFallback()
         CHECK(!store.tryLoad(manifest.keyFor(0)).has_value());
 
         resetQueue(manifest);
-        distrib::Runner repairer(kQueue, kStore, {"repairer", -1.0});
+        distrib::Runner repairer(kQueue, kStore, runnerOpts("repairer", -1.0));
         CHECK_EQ(repairer.drain(manifest), manifest.jobCount());
         CHECK(store.tryLoad(manifest.keyFor(0)).has_value());
         std::string error;
@@ -692,7 +707,7 @@ testPollBackoff()
         distrib::planStudy(spec, {config}, defaultSampling(),
                            streamLengthOf(spec, config), 2);
     resetQueue(manifest);
-    distrib::Runner runner(kQueue, kStore, {"poller", -1.0});
+    distrib::Runner runner(kQueue, kStore, runnerOpts("poller", -1.0));
     std::string error;
     const auto found = runner.awaitManifest(
         /*waitSeconds=*/0.0, &error, /*pollMillis=*/60'000.0);
@@ -813,7 +828,7 @@ testAwaitManifestPollsThroughRefusals()
     writeFileBytes(distrib::manifestPath(kQueue),
                    {'g', 'a', 'r', 'b', 'a', 'g', 'e'});
 
-    distrib::Runner runner(kQueue, kStore, {"waiter", -1.0});
+    distrib::Runner runner(kQueue, kStore, runnerOpts("waiter", -1.0));
     std::string error;
 
     // The refusal does NOT end the wait early; on timeout the error
@@ -896,7 +911,7 @@ testUnitRangeStudy()
             crew.emplace_back([&, r] {
                 distrib::Runner runner(
                     kQueue, kStore,
-                    {"unit-crew-" + std::to_string(r), -1.0});
+                    runnerOpts("unit-crew-" + std::to_string(r), -1.0));
                 executed[r] = runner.drain(manifest);
             });
         for (std::thread &t : crew)
@@ -921,7 +936,7 @@ testUnitRangeStudy()
           manifest.ranges.size());
     {
         distrib::Runner runner(kQueue, kStore,
-                               {"post-split", -1.0});
+                               runnerOpts("post-split", -1.0));
         CHECK(runner.drain(manifest) > 0);
         CHECK(distrib::studyComplete(kQueue, manifest));
         std::string error;
@@ -947,7 +962,7 @@ testUnitRangeStudy()
     // claimant plus children published after a split — still tile
     // into the bit-identical estimate (largest-at-cursor wins).
     {
-        distrib::Runner racer(kQueue, kStore, {"racer", -1.0});
+        distrib::Runner racer(kQueue, kStore, runnerOpts("racer", -1.0));
         const distrib::UnitRange parent = manifest.ranges[0];
         const auto parentResult =
             racer.executeRange(manifest, 0, parent);
@@ -966,7 +981,7 @@ testUnitRangeStudy()
         CHECK(distrib::publishResult(kQueue, *ra, &error));
         CHECK(distrib::publishResult(kQueue, *rb, &error));
 
-        distrib::Runner rest(kQueue, kStore, {"rest", 0.0});
+        distrib::Runner rest(kQueue, kStore, runnerOpts("rest", 0.0));
         rest.drain(manifest);
         CHECK(distrib::studyComplete(kQueue, manifest));
         const auto merged =

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * CLI front end for the smarts_lint contract checks (lint/lint.hh):
+ * scan a tree (--root) or explicit files, print file:line
+ * diagnostics, exit nonzero when any contract is violated. Wired
+ * into ctest as `lint_contracts` (the real tree must stay clean)
+ * and into CI's lint job; docs/determinism-contracts.md is the
+ * human-readable statement of what the checks enforce.
+ *
+ *   smarts_lint --root=.                 # lint include/ + src/
+ *   smarts_lint --check=serializer-completeness file.hh
+ *   smarts_lint --list-checks
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] [files...]\n"
+        "  --root=DIR       lint every .hh/.cc under DIR/include and"
+        " DIR/src\n"
+        "  --check=NAME     run only the named check (repeatable)\n"
+        "  --no-check=NAME  skip the named check (repeatable)\n"
+        "  --list-checks    print the check names and exit\n"
+        "  --quiet          suppress the summary line\n"
+        "exit status: 0 clean, 1 contract violations, 2 usage/IO\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smarts::lint;
+
+    Options options;
+    std::vector<std::string> files;
+    std::vector<std::string> roots;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--root=", 0) == 0) {
+            roots.push_back(value("--root="));
+        } else if (arg.rfind("--check=", 0) == 0) {
+            const std::string name = value("--check=");
+            if (!knownCheck(name)) {
+                std::fprintf(stderr,
+                             "smarts_lint: unknown check '%s' "
+                             "(--list-checks)\n",
+                             name.c_str());
+                return 2;
+            }
+            options.enabled.push_back(name);
+        } else if (arg.rfind("--no-check=", 0) == 0) {
+            const std::string name = value("--no-check=");
+            if (!knownCheck(name)) {
+                std::fprintf(stderr,
+                             "smarts_lint: unknown check '%s' "
+                             "(--list-checks)\n",
+                             name.c_str());
+                return 2;
+            }
+            options.disabled.push_back(name);
+        } else if (arg == "--list-checks") {
+            for (const std::string &name : checkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    for (const std::string &root : roots) {
+        std::string error;
+        if (!collectTreeSources(root, files, &error)) {
+            std::fprintf(stderr, "smarts_lint: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (files.empty())
+        return usage(argv[0]);
+
+    const Report report = lintFiles(files, options);
+    for (const Diagnostic &d : report.diagnostics)
+        std::printf("%s\n", formatDiagnostic(d).c_str());
+
+    if (!quiet) {
+        if (report.clean())
+            std::printf("smarts_lint: clean (%d files, %d "
+                        "justified suppressions honored)\n",
+                        report.filesScanned,
+                        report.suppressionsHonored);
+        else
+            std::printf("smarts_lint: %zu violation(s) across %d "
+                        "files (see docs/determinism-contracts.md)\n",
+                        report.diagnostics.size(),
+                        report.filesScanned);
+    }
+    return report.clean() ? 0 : 1;
+}
