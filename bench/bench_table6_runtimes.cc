@@ -18,7 +18,10 @@
  * compares the per-unit live-point regime (capture once, measure
  * units in shuffled order, stop at the confidence target) against
  * the warm sharded path on a 2-config study, emitting the
- * BENCH_livepoints.json perf artifact via --json=.
+ * BENCH_livepoints.json perf artifact via --json=. The "store"
+ * section drives the cache-service path — leapfrog capture on a
+ * miss, warm hits, lookup-latency percentiles, a size-budgeted LRU
+ * GC drill — emitting BENCH_store.json via --json=.
  *
  * Paper shape to match: SMARTS runs at roughly half the speed of
  * functional-only simulation (functional-warming bound) and achieves
@@ -1256,6 +1259,284 @@ livepointSection(const BenchOptions &opt)
     std::fflush(stdout);
 }
 
+/**
+ * CheckpointStore as a cache service: the store section drives the
+ * production cache path end to end — miss -> LEAPFROG capture
+ * (measurement overlapped with capture at per-unit grain) ->
+ * publish -> warm hits — and reports the cache-service metrics:
+ * hit rate, lookup-latency percentiles, and a size-budgeted LRU GC
+ * drill over the same entries. The golden-pinned columns are
+ * identical cold and warm by contract: whatever path a lookup took
+ * (leapfrog capture this run, or a store hit), the completion-mode
+ * estimate it folds to is bit-identical to serial run(). The JSON
+ * artifact (--json=, BENCH_store.json in CI) carries the service
+ * metrics machine-readably.
+ */
+void
+storeSection(const BenchOptions &opt)
+{
+    const auto cfg = uarch::MachineConfig::eightWay();
+    const auto suite = opt.suite();
+    exec::ThreadPool pool; // one worker per hardware thread.
+    const std::string root = opt.storePath.empty()
+                                 ? "table6_store_store"
+                                 : opt.storePath;
+    core::CheckpointStore store(root);
+    constexpr int kLookupReps = 5;
+
+    std::printf("=== Store service: leapfrog capture overlap, warm "
+                "hits, budgeted LRU GC ===\n\nstore root: %s\n\n",
+                root.c_str());
+
+    // Deterministic, golden-pinned columns (see the header comment).
+    TextTable det({"benchmark", "units", "cpi",
+                   "bitwise = serial?"});
+    TextTable times({"benchmark", "path", "leapfrog (s)",
+                     "2-pass (s)", "overlap x"});
+
+    struct Row
+    {
+        std::string name;
+        bool hit = false;
+        double leapS = 0.0, twoPassS = 0.0;
+        std::uint64_t units = 0;
+    };
+    std::vector<Row> rows;
+    std::vector<core::LibraryKey> keys;
+    std::vector<double> lookupMs;
+
+    for (const auto &spec : suite) {
+        std::uint64_t length;
+        {
+            core::SimSession probe(spec, cfg);
+            length =
+                probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+        }
+        core::SamplingConfig sc;
+        sc.unitSize = 1000;
+        sc.detailedWarming = recommendedW(cfg);
+        sc.warming = core::WarmingMode::Functional;
+        sc.interval = core::SamplingConfig::chooseInterval(
+            length, sc.unitSize, 250);
+        const auto key = core::LibraryKey::of(spec, cfg, sc);
+        auto factory = [&spec, &cfg] {
+            return std::make_unique<core::SimSession>(spec, cfg);
+        };
+        core::AnytimeOptions aopt;
+        aopt.target.epsilon = 0.0; // completion: pin vs serial.
+
+        Row row;
+        row.name = spec.name;
+        std::string error;
+        core::AnytimeResult result;
+        auto warm = store.tryLoadLivePoints(key, &error);
+        row.hit = warm.has_value();
+        if (warm) {
+            result = core::SystematicSampler(sc).runAnytime(
+                factory, *warm, pool, aopt);
+        } else {
+            // Cold miss, leapfrog path: measurement of captured
+            // units overlaps capture of the rest, then the library
+            // is published for every later run (and leader).
+            core::SimSession capture(spec, cfg);
+            core::LivePointLibrary collected;
+            {
+                const Stopwatch t;
+                result =
+                    core::SystematicSampler(sc).runAnytimeLeapfrog(
+                        capture, factory, pool, aopt, &collected);
+                row.leapS = t.seconds();
+            }
+            if (!store.saveLivePoints(collected, key, &error))
+                SMARTS_WARN("store publish failed: ", error);
+            // Baseline: the pre-leapfrog cold path — one full
+            // capture pass, THEN measurement.
+            {
+                const Stopwatch t;
+                core::SimSession capture2(spec, cfg);
+                const core::LivePointLibrary serialLib =
+                    core::LivePointLibrary::build(capture2, sc);
+                (void)core::SystematicSampler(sc).runAnytime(
+                    factory, serialLib, pool, aopt);
+                row.twoPassS = t.seconds();
+            }
+        }
+
+        // The golden columns: completion-mode estimate vs serial.
+        core::SimSession serialSession(spec, cfg);
+        const core::SmartsEstimate serial =
+            core::SystematicSampler(sc).run(serialSession);
+        const bool identical =
+            result.estimate.fingerprint() == serial.fingerprint();
+        row.units = result.unitsAvailable;
+        det.row()
+            .add(spec.name)
+            .add(result.unitsAvailable)
+            .add(result.estimate.cpi(), 4)
+            .add(identical ? "yes" : "NO");
+
+        // Cache-service lookups: warm hits timed one by one for the
+        // latency percentiles (full load + delta-decode + checksum).
+        for (int rep = 0; rep < kLookupReps; ++rep) {
+            const Stopwatch t;
+            const auto lib = store.tryLoadLivePoints(key, &error);
+            if (!lib)
+                SMARTS_FATAL("store miss after publish: ", error);
+            lookupMs.push_back(t.seconds() * 1000.0);
+        }
+
+        times.row()
+            .add(spec.name)
+            .add(row.hit ? "warm hit" : "leapfrog")
+            .add(row.leapS, 3)
+            .add(row.twoPassS, 3)
+            .add(row.hit ? 0.0 : row.twoPassS / row.leapS, 2);
+        keys.push_back(key);
+        rows.push_back(row);
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+
+    if (opt.section == "store")
+        emit(det, opt); // golden-pinned deterministic columns.
+    else
+        std::printf("%s\n", det.toString().c_str());
+    std::printf("%s\n", times.toString().c_str());
+
+    // GC drill: republish every library into a budget that holds
+    // the largest entry with headroom but not the full set;
+    // LRU-by-atime eviction must keep the store within budget
+    // whatever the save order.
+    const std::string gcRoot = root + "_gc";
+    std::filesystem::remove_all(gcRoot);
+    core::StoreOptions gcOptions;
+    {
+        std::error_code ec;
+        std::uint64_t total = 0, largest = 0;
+        for (const core::LibraryKey &key : keys) {
+            const std::uint64_t bytes = std::filesystem::file_size(
+                store.livePointPathFor(key), ec);
+            total += bytes;
+            largest = std::max(largest, bytes);
+        }
+        gcOptions.budgetBytes =
+            std::max(total / 2, largest * 3 / 2);
+    }
+    core::CheckpointStore gcStore(gcRoot, gcOptions);
+    for (const core::LibraryKey &key : keys) {
+        std::string error;
+        const auto lib = store.tryLoadLivePoints(key, &error);
+        if (!lib)
+            SMARTS_FATAL("store miss during GC drill: ", error);
+        if (!gcStore.saveLivePoints(*lib, key, &error))
+            SMARTS_WARN("GC-drill publish failed: ", error);
+    }
+    const core::StoreCounters gc = gcStore.counters();
+    const bool withinBudget =
+        gcStore.totalBytes() <= gcOptions.budgetBytes;
+
+    const core::StoreCounters c = store.counters();
+    const std::uint64_t looked = c.hits + c.misses;
+    const double hitRate =
+        looked ? static_cast<double>(c.hits) /
+                     static_cast<double>(looked)
+               : 0.0;
+    auto pct = [&lookupMs](double q) {
+        std::vector<double> sorted = lookupMs;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted.empty())
+            return 0.0;
+        const double rank =
+            q * static_cast<double>(sorted.size());
+        std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+        idx = idx ? idx - 1 : 0;
+        return sorted[std::min(idx, sorted.size() - 1)];
+    };
+
+    std::printf(
+        "%s: %llu lookups, %llu hits, %llu misses -> hit rate "
+        "%.3f\n"
+        "lookup latency p50 %.3fms p90 %.3fms p99 %.3fms max "
+        "%.3fms (%zu timed loads)\n"
+        "GC drill: budget %llu bytes over %zu entries -> %llu "
+        "evicted (%llu bytes), %llu bytes resident, within budget: "
+        "%s\n",
+        c.misses ? "COLD store" : "WARM store",
+        static_cast<unsigned long long>(looked),
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses), hitRate,
+        pct(0.50), pct(0.90), pct(0.99),
+        lookupMs.empty()
+            ? 0.0
+            : *std::max_element(lookupMs.begin(), lookupMs.end()),
+        lookupMs.size(),
+        static_cast<unsigned long long>(gcOptions.budgetBytes),
+        keys.size(), static_cast<unsigned long long>(gc.evictions),
+        static_cast<unsigned long long>(gc.bytesEvicted),
+        static_cast<unsigned long long>(gcStore.totalBytes()),
+        withinBudget ? "yes" : "NO");
+    std::fflush(stdout);
+
+    if (opt.jsonPath.empty())
+        return;
+    std::FILE *json = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!json)
+        SMARTS_FATAL("cannot write ", opt.jsonPath);
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"table6_store\",\n"
+                 "  \"scale\": \"%s\",\n"
+                 "  \"suite\": \"%s\",\n"
+                 "  \"lookups\": %llu,\n"
+                 "  \"hits\": %llu,\n"
+                 "  \"misses\": %llu,\n"
+                 "  \"hit_rate\": %.4f,\n"
+                 "  \"lookup_ms\": {\"p50\": %.3f, \"p90\": %.3f, "
+                 "\"p99\": %.3f, \"max\": %.3f},\n"
+                 "  \"benchmarks\": [\n",
+                 opt.scaleName(),
+                 opt.quickSuite ? "quick" : "standard",
+                 static_cast<unsigned long long>(looked),
+                 static_cast<unsigned long long>(c.hits),
+                 static_cast<unsigned long long>(c.misses), hitRate,
+                 pct(0.50), pct(0.90), pct(0.99),
+                 lookupMs.empty()
+                     ? 0.0
+                     : *std::max_element(lookupMs.begin(),
+                                         lookupMs.end()));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::fprintf(
+            json,
+            "    {\"name\": \"%s\", \"path\": \"%s\", \"units\": "
+            "%llu, \"leapfrog_s\": %.4f, \"two_pass_s\": %.4f, "
+            "\"overlap_x\": %.2f}%s\n",
+            row.name.c_str(), row.hit ? "warm_hit" : "leapfrog",
+            static_cast<unsigned long long>(row.units), row.leapS,
+            row.twoPassS,
+            row.hit ? 0.0 : row.twoPassS / row.leapS,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(
+        json,
+        "  ],\n"
+        "  \"gc\": {\"budget_bytes\": %llu, \"entries_saved\": %zu, "
+        "\"evictions\": %llu, \"bytes_evicted\": %llu,\n"
+        "         \"gc_runs\": %llu, \"total_bytes\": %llu, "
+        "\"within_budget\": %s}\n"
+        "}\n",
+        static_cast<unsigned long long>(gcOptions.budgetBytes),
+        keys.size(), static_cast<unsigned long long>(gc.evictions),
+        static_cast<unsigned long long>(gc.bytesEvicted),
+        static_cast<unsigned long long>(gc.gcRuns),
+        static_cast<unsigned long long>(gcStore.totalBytes()),
+        withinBudget ? "true" : "false");
+    std::fclose(json);
+    std::printf("json: %s\n", opt.jsonPath.c_str());
+    std::fflush(stdout);
+}
+
 void
 designStudySection(const BenchOptions &opt)
 {
@@ -1435,10 +1716,17 @@ main(int argc, char **argv)
         livepointSection(opt);
         return 0;
     }
+    if (opt.section == "store") {
+        banner("Table 6 (store section): cache-service store — "
+               "leapfrog capture, hit rate, budgeted GC",
+               opt);
+        storeSection(opt);
+        return 0;
+    }
     if (!opt.section.empty())
         SMARTS_FATAL("unknown --section '", opt.section,
                      "' (supported: sharded, persist, distrib, "
-                     "distrib_scale, livepoint)");
+                     "distrib_scale, livepoint, store)");
 
     banner("Table 6: runtimes — detailed vs functional vs SMARTS "
            "(8-way)",

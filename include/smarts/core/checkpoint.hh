@@ -289,7 +289,8 @@ class CheckpointLibrary
      * False with @p error set on filesystem failure.
      */
     bool save(const LibraryKey &key, const std::string &path,
-              std::string *error = nullptr) const;
+              std::string *error = nullptr,
+              bool createDirs = true) const;
 
     /**
      * Load a library from @p path, refusing — nullopt plus a

@@ -93,6 +93,28 @@ class LivePointLibrary
                                   const SamplingConfig &config);
 
     /**
+     * Per-point capture hook: called with the library slot index and
+     * the freshly captured point, immediately after it is appended.
+     * The reference is valid ONLY for the duration of the call (the
+     * library's storage may move as later points are appended) — a
+     * sink that hands the point to concurrent measurement work (the
+     * leapfrog overlap) must copy it.
+     */
+    using PointSink =
+        std::function<void(std::size_t, const LivePoint &)>;
+
+    /**
+     * build() with a capture hook: @p sink fires once per captured
+     * live-point, in stream order, on the calling thread. This is
+     * the primitive under SystematicSampler::runAnytimeLeapfrog —
+     * overlap measurement of already-captured units with capture of
+     * the rest.
+     */
+    static LivePointLibrary build(SimSession &session,
+                                  const SamplingConfig &config,
+                                  const PointSink &sink);
+
+    /**
      * Multi-config capture: ONE streaming pass over @p session (N
      * configs in lockstep off the shared architectural stream)
      * yields the per-config libraries of an N-config study —
@@ -109,7 +131,8 @@ class LivePointLibrary
      * at @p path. False with @p error set on filesystem failure.
      */
     bool save(const LibraryKey &key, const std::string &path,
-              std::string *error = nullptr) const;
+              std::string *error = nullptr,
+              bool createDirs = true) const;
 
     /**
      * Load a library from @p path, refusing — nullopt plus a

@@ -485,6 +485,35 @@ class SystematicSampler
                              exec::ThreadPool &pool,
                              const AnytimeOptions &options = {}) const;
 
+    /**
+     * LEAPFROG cold path: no live-point library exists yet, so
+     * capture and measurement overlap at per-unit grain instead of
+     * one serial capture pass followed by measurement. The capture
+     * schedule streams @p captureSession on the calling thread; the
+     * moment a unit's live-point is taken it is handed to @p pool
+     * (in chunk-sized groups, options.chunk) to be measured while
+     * capture leapfrogs ahead to the next unit. After capture
+     * drains, the anytime stop rule is REPLAYED over the complete
+     * sample set — the identical seeded shuffle, batch boundaries
+     * and streaming-CI arithmetic runAnytime applies while
+     * measuring — so the returned AnytimeResult (estimate,
+     * unitsMeasured, earlyStopped) is bit-identical to a warm-store
+     * runAnytime over the same library, and a run to completion
+     * equals the serial run() byte for byte (ctest-enforced by
+     * tests/test_livepoint.cc at 1/2/5 threads). Unlike the warm
+     * path, every unit is measured (the stop rule cannot fire
+     * mid-capture without biasing the shuffle) — the overlap, not
+     * early exit, is where the cold-path wall clock goes down.
+     * @p collect (optional) receives the captured library for
+     * persistence.
+     */
+    AnytimeResult
+    runAnytimeLeapfrog(SimSession &captureSession,
+                       const SessionFactory &factory,
+                       exec::ThreadPool &pool,
+                       const AnytimeOptions &options = {},
+                       LivePointLibrary *collect = nullptr) const;
+
   private:
     /** The cold pipelined path; @p collect (optional) receives the
      *  captured library for persistence. */

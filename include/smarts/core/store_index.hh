@@ -1,0 +1,180 @@
+/**
+ * @file
+ * StoreIndex: the journaled size/atime ledger behind the bounded
+ * CheckpointStore (core/checkpoint_store.hh). GC needs every
+ * entry's byte size and last-access order to pick LRU victims
+ * without statting the whole store on each decision, so the store
+ * keeps a `store-index` journal in its root: a versioned header
+ * followed by APPEND-ONLY records (Add / Touch / Remove), each
+ * carrying its own FNV-1a checksum so a crash mid-append — or a
+ * concurrent appender's torn write — is detected at the exact
+ * record where the journal stops making sense.
+ *
+ * The index is a CACHE, never the truth: the `.smck`/`.smlp` files
+ * are. A journal that refuses to load (truncated, corrupt,
+ * version-bumped) is discarded and rebuilt by a directory scan
+ * (rebuild()), which re-seeds LRU order from file modification
+ * times; the store then snapshots the rebuilt index so the next
+ * open is cheap again. Access times are LOGICAL ticks (a per-index
+ * monotone counter), not wall-clock reads — LRU decisions are a
+ * pure function of the access sequence, which is what lets the
+ * tests script an atime sequence and pin the eviction order.
+ */
+
+#ifndef SMARTS_CORE_STORE_INDEX_HH
+#define SMARTS_CORE_STORE_INDEX_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smarts::core {
+
+/** On-disk journal format version (`store-index` files). */
+constexpr std::uint32_t kStoreIndexFormatVersion = 1;
+
+/** What the store tracks per persisted library file. */
+struct StoreIndexEntry
+{
+    std::uint64_t bytes = 0; ///< serialized file size.
+    std::uint64_t atime = 0; ///< logical last-access tick.
+};
+
+class StoreIndex
+{
+  public:
+    /** Journal record kinds (docs/store-service.md § Index). */
+    enum class Op : std::uint8_t
+    {
+        Add = 1,    ///< entry created/replaced: bytes + atime.
+        Touch = 2,  ///< entry accessed: new atime.
+        Remove = 3, ///< entry evicted or superseded.
+    };
+
+    /**
+     * Load and validate a journal. Refuses — nullopt plus a
+     * diagnostic in @p error — on a missing/short file, bad magic,
+     * unknown version, bad endianness marker, or any record whose
+     * checksum or encoding breaks (a crash mid-append corrupts
+     * exactly one trailing record; the whole journal is discarded
+     * and rebuilt rather than trusting a prefix whose end cannot
+     * be distinguished from tampering).
+     */
+    static std::optional<StoreIndex>
+    load(const std::string &path, std::string *error = nullptr);
+
+    /**
+     * Rebuild from a directory scan of @p root: every `.smck` and
+     * `.smlp` file below it (service directories — `.pins`,
+     * `.trash`, temp files — are skipped) becomes an entry. LRU
+     * order is re-seeded from file modification times (oldest
+     * first, path as tiebreak), the best recovery of "least
+     * recently useful" a scan can offer; the result is idempotent:
+     * rebuilding again without intervening file changes yields the
+     * same entries, sizes and order.
+     */
+    static StoreIndex rebuild(const std::string &root);
+
+    /**
+     * Write the whole index as a fresh journal (header + one Add
+     * per entry) and publish it atomically at @p path — journal
+     * compaction, and the snapshot after a rebuild.
+     */
+    bool saveSnapshot(const std::string &path,
+                      std::string *error = nullptr) const;
+
+    /**
+     * Append one record to the journal at @p path (creating it
+     * with a header first if missing). The record is encoded into
+     * one buffer and appended with a single write so concurrent
+     * appenders interleave at record granularity on POSIX; a torn
+     * interleave is caught by the record checksum at the next
+     * load, which triggers a rebuild.
+     */
+    static bool appendRecord(const std::string &path, Op op,
+                             const std::string &rel,
+                             std::uint64_t bytes,
+                             std::uint64_t atime,
+                             std::string *error = nullptr);
+
+    /** Record an entry (new or replaced); returns its atime. */
+    std::uint64_t noteAdd(const std::string &rel,
+                          std::uint64_t bytes);
+
+    /** Record an access; returns the new atime (0 if unknown). */
+    std::uint64_t noteTouch(const std::string &rel);
+
+    void noteRemove(const std::string &rel);
+
+    bool
+    contains(const std::string &rel) const
+    {
+        return entries_.count(rel) != 0;
+    }
+
+    const StoreIndexEntry *
+    find(const std::string &rel) const
+    {
+        const auto it = entries_.find(rel);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Sum of tracked file sizes — what GC budgets against. */
+    std::uint64_t
+    totalBytes() const
+    {
+        return totalBytes_;
+    }
+
+    std::size_t
+    entryCount() const
+    {
+        return entries_.size();
+    }
+
+    /** Ordered map so every walk of the index is deterministic. */
+    const std::map<std::string, StoreIndexEntry> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Eviction order: ascending (atime, path) — least recently
+     * used first, path as the deterministic tiebreak.
+     */
+    std::vector<std::pair<std::string, StoreIndexEntry>>
+    lruOrder() const;
+
+    /** Journal records replayed by load() (compaction heuristic). */
+    std::uint64_t
+    journalRecords() const
+    {
+        return journalRecords_;
+    }
+
+    /** True when the journal holds many more records than entries
+     *  — time to compact via saveSnapshot(). */
+    bool
+    wantsCompaction() const
+    {
+        return journalRecords_ > 64 &&
+               journalRecords_ > 4 * (entryCount() + 1);
+    }
+
+  private:
+    /** Install @p rel at an explicit tick (journal replay). */
+    void noteAddAt(const std::string &rel, std::uint64_t bytes,
+                   std::uint64_t atime);
+
+    std::map<std::string, StoreIndexEntry> entries_;
+    std::uint64_t clock_ = 0; ///< next logical access tick.
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t journalRecords_ = 0;
+};
+
+} // namespace smarts::core
+
+#endif // SMARTS_CORE_STORE_INDEX_HH

@@ -94,6 +94,19 @@ operator!=(const UnitRange &a, const UnitRange &b)
     return !(a == b);
 }
 
+/**
+ * MachineConfig serialization — every field, doubles as raw
+ * IEEE-754 bit patterns, in the normative order of
+ * docs/distributed-runners.md § Machine config. Public because the
+ * job manifest and the store-service request files
+ * (distrib/store_service.hh) embed the same encoding: a daemon must
+ * reconstruct the EXACT machine a leader meant, including the
+ * timing-only fields the geometry hash deliberately ignores.
+ */
+void writeMachineConfig(util::BinaryWriter &out,
+                        const uarch::MachineConfig &config);
+uarch::MachineConfig readMachineConfig(util::BinaryReader &in);
+
 /** Queue-directory file names (docs/distributed-runners.md). */
 std::string manifestPath(const std::string &dir);
 std::string claimPath(const std::string &dir, std::uint32_t config,

@@ -125,9 +125,13 @@ class BinaryWriter
     /**
      * Append the FNV-1a checksum of the buffer, then publish the
      * result at @p path atomically (temp file + rename). Returns
-     * false with @p error set on any filesystem failure.
+     * false with @p error set on any filesystem failure. Callers
+     * that already guaranteed the parent directory — e.g. the
+     * checkpoint store's memoized ensureDirFor — pass
+     * @p createDirs false to skip the per-write re-stat.
      */
-    bool writeFile(const std::string &path, std::string *error) const;
+    bool writeFile(const std::string &path, std::string *error,
+                   bool createDirs = true) const;
 
   private:
     std::vector<std::uint8_t> buffer_;

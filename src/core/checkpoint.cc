@@ -433,11 +433,11 @@ CheckpointLibrary::serialize(const LibraryKey &key,
 
 bool
 CheckpointLibrary::save(const LibraryKey &key, const std::string &path,
-                        std::string *error) const
+                        std::string *error, bool createDirs) const
 {
     util::BinaryWriter out;
     serialize(key, out);
-    return out.writeFile(path, error);
+    return out.writeFile(path, error, createDirs);
 }
 
 std::optional<CheckpointLibrary>

@@ -1,6 +1,7 @@
 #include "core/livepoint.hh"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <numeric>
 #include <utility>
@@ -132,11 +133,87 @@ rawStateOf(const LivePoint &point)
     return raw.buffer();
 }
 
+// The anytime stop rule, factored so the warm path (runAnytime,
+// which evaluates it WHILE measuring) and the leapfrog cold path
+// (which REPLAYS it over the complete sample set) share the exact
+// arithmetic — bit-identical decisions are what make the two paths
+// report the same AnytimeResult.
+
+/** Seeded Fisher-Yates measurement order: pure function of (seed, n). */
+std::vector<std::uint32_t>
+shuffledOrder(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    Xoshiro256StarStar rng(seed);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+    return order;
+}
+
+/** The batch-boundary confidence test of the anytime estimator. */
+bool
+anytimeTargetMet(const stats::OnlineStats &shuffled,
+                 const AnytimeOptions &options)
+{
+    return options.target.epsilon > 0.0 &&
+           shuffled.count() >= options.minUnits &&
+           stats::confidenceHalfWidth(shuffled.cv(), shuffled.count(),
+                                      options.target.level) <=
+               options.target.epsilon;
+}
+
+/**
+ * Deterministic fold: replay the taken units' observations in
+ * STREAM order through the accumulators — replay, never
+ * OnlineStats::merge (Chan's merge rounds differently), so a
+ * completed run equals the serial run() byte for byte.
+ */
+template <typename Samples>
+AnytimeResult
+foldAnytime(const Samples &samples,
+            const std::vector<std::uint32_t> &order,
+            std::size_t processed, std::uint64_t streamLength)
+{
+    const std::size_t n = order.size();
+    std::vector<bool> taken(n, false);
+    for (std::size_t i = 0; i < processed; ++i)
+        taken[order[i]] = true;
+
+    AnytimeResult result;
+    SmartsEstimate &est = result.estimate;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!taken[i])
+            continue;
+        const UnitSample &sample = samples[i];
+        if (sample.hasObs) {
+            est.cpiStats.add(sample.obs.cpi);
+            est.epiStats.add(sample.obs.epi);
+        }
+        est.instructionsMeasured += sample.measured;
+        est.instructionsWarmed += sample.warmed;
+        est.instructionsDropped += sample.dropped;
+    }
+    est.streamLength = streamLength;
+    result.unitsAvailable = n;
+    result.unitsMeasured = processed;
+    result.earlyStopped = processed < n;
+    return result;
+}
+
 } // namespace
 
 LivePointLibrary
 LivePointLibrary::build(SimSession &session,
                         const SamplingConfig &config)
+{
+    return build(session, config, PointSink{});
+}
+
+LivePointLibrary
+LivePointLibrary::build(SimSession &session,
+                        const SamplingConfig &config,
+                        const PointSink &sink)
 {
     LivePointLibrary library;
     library.config_ = config;
@@ -147,6 +224,9 @@ LivePointLibrary::build(SimSession &session,
             point.position = session.instCount();
             point.unitIndex = unitIdx;
             library.points_.push_back(std::move(point));
+            if (sink)
+                sink(library.points_.size() - 1,
+                     library.points_.back());
         });
     return library;
 }
@@ -208,11 +288,11 @@ LivePointLibrary::serialize(const LibraryKey &key,
 
 bool
 LivePointLibrary::save(const LibraryKey &key, const std::string &path,
-                       std::string *error) const
+                       std::string *error, bool createDirs) const
 {
     util::BinaryWriter out;
     serialize(key, out);
-    return out.writeFile(path, error);
+    return out.writeFile(path, error, createDirs);
 }
 
 std::optional<LivePointLibrary>
@@ -340,11 +420,8 @@ SystematicSampler::runAnytime(const SessionFactory &factory,
     // Seeded Fisher-Yates: the measurement order is a pure function
     // of (seed, n), so a rerun — on any machine, at any thread
     // count — measures the identical unit sequence.
-    std::vector<std::uint32_t> order(n);
-    std::iota(order.begin(), order.end(), 0u);
-    Xoshiro256StarStar rng(options.seed);
-    for (std::size_t i = n; i > 1; --i)
-        std::swap(order[i - 1], order[rng.below(i)]);
+    const std::vector<std::uint32_t> order =
+        shuffledOrder(n, options.seed);
 
     const SamplingConfig config = config_;
     const std::uint64_t batch = options.batch ? options.batch : 1;
@@ -385,41 +462,99 @@ SystematicSampler::runAnytime(const SessionFactory &factory,
         }
         processed = end;
 
-        if (options.target.epsilon > 0.0 &&
-            shuffled.count() >= options.minUnits &&
-            stats::confidenceHalfWidth(shuffled.cv(),
-                                       shuffled.count(),
-                                       options.target.level) <=
-                options.target.epsilon)
+        if (anytimeTargetMet(shuffled, options))
             stopped = true;
     }
 
-    // Deterministic fold: replay the measured units' observations in
-    // STREAM order through the accumulators — replay, never
-    // OnlineStats::merge (Chan's merge rounds differently), so a
-    // completed run equals the serial run() byte for byte.
-    std::vector<bool> taken(n, false);
-    for (std::size_t i = 0; i < processed; ++i)
-        taken[order[i]] = true;
+    return foldAnytime(samples, order, processed,
+                       library.streamLength());
+}
 
-    AnytimeResult result;
-    SmartsEstimate &est = result.estimate;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!taken[i])
-            continue;
-        const UnitSample &sample = samples[i];
-        if (sample.hasObs) {
-            est.cpiStats.add(sample.obs.cpi);
-            est.epiStats.add(sample.obs.epi);
+AnytimeResult
+SystematicSampler::runAnytimeLeapfrog(SimSession &captureSession,
+                                      const SessionFactory &factory,
+                                      exec::ThreadPool &pool,
+                                      const AnytimeOptions &options,
+                                      LivePointLibrary *collect) const
+{
+    if (!factory)
+        SMARTS_FATAL("runAnytimeLeapfrog needs a session factory");
+
+    const SamplingConfig config = config_;
+    const std::uint64_t chunk = options.chunk ? options.chunk : 1;
+
+    // Sample slots live in a deque: push_back never moves existing
+    // elements, so the capture thread keeps appending while pool
+    // jobs write through the stable slot pointers they were handed.
+    // Jobs never touch the container itself.
+    std::deque<UnitSample> samples;
+    std::vector<LivePoint> pendingPoints;
+    std::vector<UnitSample *> pendingSlots;
+
+    auto flush = [&] {
+        if (pendingPoints.empty())
+            return;
+        auto points = std::make_shared<std::vector<LivePoint>>(
+            std::move(pendingPoints));
+        auto slots = std::make_shared<std::vector<UnitSample *>>(
+            std::move(pendingSlots));
+        pendingPoints.clear();
+        pendingSlots.clear();
+        pool.submit([points, slots, &factory, config] {
+            std::unique_ptr<SimSession> session = factory();
+            for (std::size_t i = 0; i < points->size(); ++i)
+                measureLivePoint(*session, config, (*points)[i],
+                                 *(*slots)[i]);
+        });
+    };
+
+    // Capture on this thread; every chunk of fresh live-points is
+    // handed to the pool the moment it exists, so measurement of
+    // unit m overlaps functional warming toward unit m+chunk — the
+    // leapfrog. The sink copies each point: capture moves on and
+    // the library's own storage may relocate under further appends.
+    LivePointLibrary library = LivePointLibrary::build(
+        captureSession, config_,
+        [&](std::size_t, const LivePoint &point) {
+            samples.emplace_back();
+            pendingPoints.push_back(point);
+            pendingSlots.push_back(&samples.back());
+            if (pendingPoints.size() >= chunk)
+                flush();
+        });
+    flush();
+    pool.wait();
+
+    // Stop-rule replay over the complete sample set: the identical
+    // shuffle, batch boundaries and streaming-CI arithmetic the
+    // warm path applies while measuring — the per-unit values are
+    // the same, so every accept/stop decision lands on the same
+    // batch and the reported AnytimeResult matches a warm
+    // runAnytime bit for bit.
+    const std::size_t n = samples.size();
+    const std::vector<std::uint32_t> order =
+        shuffledOrder(n, options.seed);
+    const std::uint64_t batch = options.batch ? options.batch : 1;
+    stats::OnlineStats shuffled;
+    std::size_t processed = 0;
+    bool stopped = false;
+    while (processed < n && !stopped) {
+        const std::size_t end =
+            std::min<std::size_t>(n, processed + batch);
+        for (std::size_t i = processed; i < end; ++i) {
+            const UnitSample &sample = samples[order[i]];
+            if (sample.hasObs)
+                shuffled.add(sample.obs.cpi);
         }
-        est.instructionsMeasured += sample.measured;
-        est.instructionsWarmed += sample.warmed;
-        est.instructionsDropped += sample.dropped;
+        processed = end;
+        if (anytimeTargetMet(shuffled, options))
+            stopped = true;
     }
-    est.streamLength = library.streamLength();
-    result.unitsAvailable = n;
-    result.unitsMeasured = processed;
-    result.earlyStopped = processed < n;
+
+    AnytimeResult result =
+        foldAnytime(samples, order, processed, library.streamLength());
+    if (collect)
+        *collect = std::move(library);
     return result;
 }
 

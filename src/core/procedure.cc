@@ -141,26 +141,35 @@ SmartsProcedure::estimateAnytime(const SessionFactory &factory,
         streamLength, config_.unitSize, config_.nInit);
 
     const LibraryKey key = LibraryKey::of(spec, machine, sc);
-    std::string error;
-    std::optional<LivePointLibrary> library =
-        store.tryLoadLivePoints(key, &error);
-    if (!library) {
-        if (!error.empty())
-            SMARTS_WARN("checkpoint store: recapturing live-points "
-                        "(", error, ")");
-        auto session = factory();
-        library = LivePointLibrary::build(*session, sc);
-        if (!store.saveLivePoints(*library, key, &error))
-            SMARTS_WARN("checkpoint store: could not persist ",
-                        store.livePointPathFor(key), " (", error,
-                        ")");
-    }
-
     AnytimeOptions options;
     options.target = config_.target;
     options.seed = seed;
-    return SystematicSampler(sc).runAnytime(factory, *library, pool,
-                                            options);
+
+    // One store lookup decides the path (the store's index makes it
+    // a single stat at most — see StoreCounters::statCalls). Hit:
+    // measure from the persisted live-points. Miss: the LEAPFROG
+    // cold path — capture and measurement overlap at per-unit grain
+    // — then persist what was captured so every later run hits.
+    // Both paths report the identical AnytimeResult.
+    std::string error;
+    std::optional<LivePointLibrary> library =
+        store.tryLoadLivePoints(key, &error);
+    if (library)
+        return SystematicSampler(sc).runAnytime(factory, *library,
+                                                pool, options);
+    if (!error.empty())
+        SMARTS_WARN("checkpoint store: recapturing live-points (",
+                    error, ")");
+
+    auto session = factory();
+    LivePointLibrary captured;
+    const AnytimeResult result =
+        SystematicSampler(sc).runAnytimeLeapfrog(
+            *session, factory, pool, options, &captured);
+    if (!store.saveLivePoints(captured, key, &error))
+        SMARTS_WARN("checkpoint store: could not persist ",
+                    store.livePointPathFor(key), " (", error, ")");
+    return result;
 }
 
 MatchedProcedureResult

@@ -1,0 +1,411 @@
+#include "core/store_index.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/binary_io.hh"
+#include "util/logging.hh"
+
+namespace smarts::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Journal header: magic, format version, endianness canary. */
+constexpr char kMagic[8] = {'S', 'M', 'R', 'T', 'S', 'I', 'D', 'X'};
+constexpr std::uint32_t kEndianMark = 0x01020304;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4;
+
+void
+encodeHeader(std::vector<std::uint8_t> &out)
+{
+    util::BinaryWriter w;
+    for (const char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kStoreIndexFormatVersion);
+    w.u32(kEndianMark);
+    out.insert(out.end(), w.buffer().begin(), w.buffer().end());
+}
+
+/**
+ * One journal record: the encoded fields followed by the FNV-1a of
+ * exactly those bytes, so a reader can tell a complete record from
+ * the ragged tail a crash mid-append leaves.
+ */
+void
+encodeRecord(std::vector<std::uint8_t> &out, StoreIndex::Op op,
+             const std::string &rel, std::uint64_t bytes,
+             std::uint64_t atime)
+{
+    util::BinaryWriter w;
+    w.u8(static_cast<std::uint8_t>(op));
+    w.str(rel);
+    w.u64(bytes);
+    w.u64(atime);
+    const std::uint64_t checksum =
+        util::fnv1a(w.buffer().data(), w.buffer().size());
+    w.u64(checksum);
+    out.insert(out.end(), w.buffer().begin(), w.buffer().end());
+}
+
+// Raw little-endian field readers over the journal bytes. The
+// journal is parsed by explicit position (not BinaryReader) because
+// each record's checksum covers a byte RANGE of the file, which
+// needs the cursor.
+bool
+rdU8(const std::vector<std::uint8_t> &d, std::size_t &p,
+     std::uint8_t &v)
+{
+    if (d.size() - p < 1)
+        return false;
+    v = d[p++];
+    return true;
+}
+
+bool
+rdU32(const std::vector<std::uint8_t> &d, std::size_t &p,
+      std::uint32_t &v)
+{
+    if (d.size() - p < 4)
+        return false;
+    v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        v |= static_cast<std::uint32_t>(d[p++]) << shift;
+    return true;
+}
+
+bool
+rdU64(const std::vector<std::uint8_t> &d, std::size_t &p,
+      std::uint64_t &v)
+{
+    if (d.size() - p < 8)
+        return false;
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        v |= static_cast<std::uint64_t>(d[p++]) << shift;
+    return true;
+}
+
+bool
+rdStr(const std::vector<std::uint8_t> &d, std::size_t &p,
+      std::string &v)
+{
+    std::uint32_t n = 0;
+    if (!rdU32(d, p, n) || d.size() - p < n)
+        return false;
+    v.assign(d.begin() + static_cast<std::ptrdiff_t>(p),
+             d.begin() + static_cast<std::ptrdiff_t>(p + n));
+    p += n;
+    return true;
+}
+
+/** True for files the index tracks: shard + live-point libraries. */
+bool
+isStoreEntry(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    if (ext != ".smck" && ext != ".smlp")
+        return false;
+    // In-flight atomic publishes look like "<name>.smck.tmp.<pid>.."
+    // — extension() sees ".tmp..." pieces, not .smck, so they fall
+    // out above; this guards renamed-away leftovers too.
+    return path.filename().string().find(".tmp.") ==
+           std::string::npos;
+}
+
+} // namespace
+
+std::optional<StoreIndex>
+StoreIndex::load(const std::string &path, std::string *error)
+{
+    auto refuse = [error](std::string why) {
+        if (error)
+            *error = std::move(why);
+        return std::nullopt;
+    };
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return refuse(log::format("cannot open ", path));
+    const std::streamoff size = in.tellg();
+    if (size < static_cast<std::streamoff>(kHeaderBytes))
+        return refuse(log::format(
+            path, " is truncated (", size, " bytes, no header)"));
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    // smarts-lint: allow(checksum-before-use) raw whole-file read
+    // into the buffer; the kMagic/version/endianness ladder below
+    // validates it before any record is decoded.
+    in.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!in)
+        return refuse(log::format("short read from ", path));
+
+    // Validate the header — kMagic, version, endianness — before
+    // decoding a single record.
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+        return refuse(log::format(
+            path, " has a foreign magic (not a store index)"));
+    std::size_t pos = sizeof kMagic;
+    std::uint32_t version = 0;
+    std::uint32_t endian = 0;
+    if (!rdU32(bytes, pos, version) || !rdU32(bytes, pos, endian))
+        return refuse(log::format(path, " header truncated"));
+    if (version != kStoreIndexFormatVersion)
+        return refuse(log::format(
+            path, " is format v", version, "; this build reads v",
+            kStoreIndexFormatVersion));
+    if (endian != kEndianMark)
+        return refuse(log::format(
+            path, " endianness canary mismatch"));
+
+    StoreIndex index;
+    while (pos < bytes.size()) {
+        const std::size_t recordStart = pos;
+        std::uint8_t op = 0;
+        std::string rel;
+        std::uint64_t entryBytes = 0;
+        std::uint64_t atime = 0;
+        if (!rdU8(bytes, pos, op) || !rdStr(bytes, pos, rel) ||
+            !rdU64(bytes, pos, entryBytes) ||
+            !rdU64(bytes, pos, atime))
+            return refuse(log::format(
+                path, " record at byte ", recordStart,
+                " is truncated (crash mid-append?)"));
+        const std::uint64_t expected = util::fnv1a(
+            bytes.data() + recordStart, pos - recordStart);
+        std::uint64_t stored = 0;
+        if (!rdU64(bytes, pos, stored) || stored != expected)
+            return refuse(log::format(
+                path, " record at byte ", recordStart,
+                " failed its checksum (torn or corrupt)"));
+
+        ++index.journalRecords_;
+        switch (static_cast<Op>(op)) {
+        case Op::Add:
+            index.noteAddAt(rel, entryBytes, atime);
+            break;
+        case Op::Touch: {
+            // Touch of a path this journal never Added is fine —
+            // another process's interleaved lifecycle — but the
+            // clock must still advance past it.
+            const auto it = index.entries_.find(rel);
+            if (it != index.entries_.end())
+                it->second.atime = atime;
+            if (atime >= index.clock_)
+                index.clock_ = atime + 1;
+            break;
+        }
+        case Op::Remove:
+            index.noteRemove(rel);
+            break;
+        default:
+            return refuse(log::format(
+                path, " record at byte ", recordStart,
+                " has unknown op ", int(op)));
+        }
+    }
+    return index;
+}
+
+StoreIndex
+StoreIndex::rebuild(const std::string &root)
+{
+    // Gather every library file with its modification time, sort
+    // oldest-first (path as tiebreak so equal-mtime files — common
+    // on coarse-granularity filesystems — still order the same way
+    // every rebuild), and hand out logical atimes by that ordinal.
+    struct Found
+    {
+        fs::file_time_type mtime;
+        std::string rel;
+        std::uint64_t bytes;
+    };
+    std::vector<Found> found;
+    std::error_code ec;
+    const fs::path rootPath(root);
+    for (fs::recursive_directory_iterator
+             it(rootPath,
+                fs::directory_options::skip_permission_denied, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        const fs::path &p = it->path();
+        const std::string name = p.filename().string();
+        if (it->is_directory(ec)) {
+            // Service directories hold pins and evicted trash, not
+            // entries.
+            if (name == ".pins" || name == ".trash")
+                it.disable_recursion_pending();
+            continue;
+        }
+        if (!isStoreEntry(p))
+            continue;
+        std::error_code statEc;
+        const std::uint64_t bytes = fs::file_size(p, statEc);
+        // Rebuild seeds LRU order from mtimes: the only recency
+        // signal that survives losing the journal. Logical atimes
+        // take over from here on.
+        const fs::file_time_type mtime = fs::last_write_time(p, statEc); // smarts-lint: allow(no-ambient-nondeterminism) rebuild re-seeds LRU order from file mtimes; result order is pinned by sort below and never feeds an estimate
+        if (statEc)
+            continue; // vanished mid-scan (concurrent GC) — skip.
+        found.push_back(
+            {mtime, fs::relative(p, rootPath, statEc).generic_string(),
+             bytes});
+    }
+    std::sort(found.begin(), found.end(),
+              [](const Found &a, const Found &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.rel < b.rel;
+              });
+
+    StoreIndex index;
+    for (const Found &f : found)
+        index.noteAdd(f.rel, f.bytes);
+    index.journalRecords_ = 0; // nothing replayed; fresh ledger.
+    return index;
+}
+
+bool
+StoreIndex::saveSnapshot(const std::string &path,
+                         std::string *error) const
+{
+    std::vector<std::uint8_t> out;
+    encodeHeader(out);
+    for (const auto &[rel, entry] : entries_)
+        encodeRecord(out, Op::Add, rel, entry.bytes, entry.atime);
+
+    // Same atomic-publish idiom as BinaryWriter::writeFile, minus
+    // the trailing whole-file checksum (appends would invalidate
+    // it; records carry their own).
+    static std::atomic<unsigned> serial{0};
+    const fs::path tmp(log::format(
+        path, ".tmp.", ::getpid(), ".", serial.fetch_add(1)));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            if (error)
+                *error = log::format("cannot open ",
+                                           tmp.string());
+            return false;
+        }
+        f.write(reinterpret_cast<const char *>(out.data()),
+                static_cast<std::streamsize>(out.size()));
+        if (!f) {
+            if (error)
+                *error =
+                    log::format("short write to ", tmp.string());
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        if (error)
+            *error = log::format("cannot publish ", path, ": ",
+                                       ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+StoreIndex::appendRecord(const std::string &path, Op op,
+                         const std::string &rel, std::uint64_t bytes,
+                         std::uint64_t atime, std::string *error)
+{
+    std::error_code ec;
+    const bool fresh =
+        !fs::exists(path, ec) || fs::file_size(path, ec) == 0;
+
+    std::vector<std::uint8_t> out;
+    if (fresh)
+        encodeHeader(out);
+    encodeRecord(out, op, rel, bytes, atime);
+
+    // One write() per record: POSIX O_APPEND keeps concurrent
+    // appenders from overwriting each other, and a rare torn
+    // interleave is caught by the record checksum at the next
+    // load(), which falls back to rebuild().
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    if (!f) {
+        if (error)
+            *error = log::format("cannot open ", path,
+                                       " for append");
+        return false;
+    }
+    f.write(reinterpret_cast<const char *>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) {
+        if (error)
+            *error = log::format("short append to ", path);
+        return false;
+    }
+    return true;
+}
+
+void
+StoreIndex::noteAddAt(const std::string &rel, std::uint64_t bytes,
+                      std::uint64_t atime)
+{
+    StoreIndexEntry &entry = entries_[rel];
+    totalBytes_ -= entry.bytes; // replace: retire the old size.
+    entry.bytes = bytes;
+    entry.atime = atime;
+    totalBytes_ += bytes;
+    if (atime >= clock_)
+        clock_ = atime + 1;
+}
+
+std::uint64_t
+StoreIndex::noteAdd(const std::string &rel, std::uint64_t bytes)
+{
+    const std::uint64_t atime = clock_;
+    noteAddAt(rel, bytes, atime);
+    return atime;
+}
+
+std::uint64_t
+StoreIndex::noteTouch(const std::string &rel)
+{
+    const auto it = entries_.find(rel);
+    if (it == entries_.end())
+        return 0;
+    it->second.atime = clock_++;
+    return it->second.atime;
+}
+
+void
+StoreIndex::noteRemove(const std::string &rel)
+{
+    const auto it = entries_.find(rel);
+    if (it == entries_.end())
+        return;
+    totalBytes_ -= it->second.bytes;
+    entries_.erase(it);
+}
+
+std::vector<std::pair<std::string, StoreIndexEntry>>
+StoreIndex::lruOrder() const
+{
+    std::vector<std::pair<std::string, StoreIndexEntry>> order(
+        entries_.begin(), entries_.end());
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.atime != b.second.atime)
+                      return a.second.atime < b.second.atime;
+                  return a.first < b.first;
+              });
+    return order;
+}
+
+} // namespace smarts::core

@@ -289,6 +289,19 @@ readRange(util::BinaryReader &in)
 
 } // namespace
 
+void
+writeMachineConfig(util::BinaryWriter &out,
+                   const uarch::MachineConfig &config)
+{
+    writeMachine(out, config);
+}
+
+uarch::MachineConfig
+readMachineConfig(util::BinaryReader &in)
+{
+    return readMachine(in);
+}
+
 std::uint64_t
 buildFingerprint()
 {

@@ -412,6 +412,7 @@ inLoadScope(const std::string &path)
     return pathContains(path, "checkpoint") ||
            pathContains(path, "livepoint") ||
            pathContains(path, "persist") ||
+           pathContains(path, "store_index") ||
            pathContains(path, "/distrib/");
 }
 

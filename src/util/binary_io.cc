@@ -15,15 +15,15 @@ namespace smarts::util {
 namespace fs = std::filesystem;
 
 bool
-BinaryWriter::writeFile(const std::string &path,
-                        std::string *error) const
+BinaryWriter::writeFile(const std::string &path, std::string *error,
+                        bool createDirs) const
 {
     const std::uint64_t checksum =
         fnv1a(buffer_.data(), buffer_.size());
 
     std::error_code ec;
     const fs::path target(path);
-    if (target.has_parent_path()) {
+    if (createDirs && target.has_parent_path()) {
         fs::create_directories(target.parent_path(), ec);
         if (ec) {
             if (error)

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * smarts_lint fixture: a journal loader in load scope (the file
+ * name contains "store_index") that decodes a record's payload
+ * BEFORE validating its per-record checksum must fire
+ * checksum-before-use, anchored at the premature decode.
+ */
+
+#include <cstdint>
+#include <optional>
+
+namespace util {
+std::uint64_t fnv1a(const std::uint8_t *data, std::uint64_t size);
+class BinaryReader;
+} // namespace util
+
+namespace fixture {
+
+struct IndexRecord
+{
+    std::uint64_t bytes = 0;
+    std::uint64_t atime = 0;
+};
+
+inline std::optional<IndexRecord>
+loadIndexRecord(util::BinaryReader &in)
+{
+    IndexRecord record;
+    record.bytes = in.u64(); // decoded before the checksum below.
+    record.atime = in.u64();
+    if (in.u64() != util::fnv1a(nullptr, 0))
+        return std::nullopt;
+    return record;
+}
+
+} // namespace fixture

@@ -98,6 +98,17 @@ testEachCheckFiresOnItsFixture()
     CHECK(r.diagnostics[0].message.find("tryLoadBlob") !=
           std::string::npos);
 
+    // ...and the store-index journal loader is in the same scope
+    // (the "store_index" file-name rule): decode-before-checksum
+    // ordering is anchored at the premature decode line.
+    r = lintOne("store_index_nocheck.cc");
+    CHECK_EQ(r.diagnostics.size(), std::size_t(1));
+    CHECK_EQ(countAt(r, "checksum-before-use", 29), 1);
+    CHECK(r.diagnostics[0].message.find("loadIndexRecord") !=
+          std::string::npos);
+    CHECK(r.diagnostics[0].message.find("before its first") !=
+          std::string::npos);
+
     // float-fold-discipline: the merge-path marker opts the file
     // in; both the bare += and std::accumulate fire.
     r = lintOne("float_fold_merge.cc");

@@ -499,6 +499,87 @@ testAnytimeCompletionBitIdentical()
 }
 
 void
+testLeapfrogColdOverlapBitIdentical()
+{
+    // The LEAPFROG cold path: capture and measurement overlap at
+    // per-unit grain, then the anytime stop rule is replayed over
+    // the complete sample set — so the result must be bit-identical
+    // to serial run() (completion mode) and to a warm-path
+    // runAnytime (early-stop mode), at any thread count.
+    const auto config = uarch::MachineConfig::eightWay();
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    const core::SamplingConfig sc = defaultSampling();
+    auto factory = [&spec, &config] {
+        return std::make_unique<core::SimSession>(spec, config);
+    };
+
+    core::SimSession serialSession(spec, config);
+    const core::SmartsEstimate serial =
+        core::SystematicSampler(sc).run(serialSession);
+
+    core::AnytimeOptions options;
+    options.target.epsilon = 0.0; // completion mode: measure all.
+    for (const std::size_t threads :
+         {std::size_t(1), std::size_t(2), std::size_t(5)}) {
+        exec::ThreadPool pool(threads);
+        core::SimSession captureSession(spec, config);
+        core::LivePointLibrary collected;
+        const core::AnytimeResult result =
+            core::SystematicSampler(sc).runAnytimeLeapfrog(
+                captureSession, factory, pool, options, &collected);
+        CHECK(!result.earlyStopped);
+        CHECK_EQ(result.unitsMeasured, result.unitsAvailable);
+        CHECK(fingerprint(result.estimate) == fingerprint(serial));
+
+        // The collected library is the real thing: a warm anytime
+        // run over it folds to the same estimate.
+        CHECK_EQ(collected.unitCount(), result.unitsAvailable);
+        const core::AnytimeResult warm =
+            core::SystematicSampler(sc).runAnytime(
+                factory, collected, pool, options);
+        CHECK(fingerprint(warm.estimate) == fingerprint(serial));
+    }
+
+    // Early-stop replay: with a real confidence target the leapfrog
+    // run measures EVERY unit (the stop rule cannot fire mid-capture
+    // without biasing the shuffle) yet must report the identical
+    // measured-set size, stop flag and estimate as the warm path
+    // over the library it just captured.
+    {
+        const auto dense =
+            workloads::findBenchmark("bsearch-1",
+                                     workloads::Scale::Mini);
+        auto denseFactory = [&dense, &config] {
+            return std::make_unique<core::SimSession>(dense, config);
+        };
+        core::SamplingConfig dsc = defaultSampling();
+        dsc.interval = 2;
+        core::AnytimeOptions target;
+        target.target.level = 0.997;
+        target.target.epsilon = 0.03;
+        target.seed = 7;
+
+        exec::ThreadPool pool(2);
+        core::SimSession captureSession(dense, config);
+        core::LivePointLibrary collected;
+        const core::AnytimeResult leap =
+            core::SystematicSampler(dsc).runAnytimeLeapfrog(
+                captureSession, denseFactory, pool, target,
+                &collected);
+        const core::AnytimeResult warm =
+            core::SystematicSampler(dsc).runAnytime(
+                denseFactory, collected, pool, target);
+        CHECK(leap.earlyStopped);
+        CHECK_EQ(leap.earlyStopped, warm.earlyStopped);
+        CHECK_EQ(leap.unitsMeasured, warm.unitsMeasured);
+        CHECK(leap.unitsMeasured < leap.unitsAvailable);
+        CHECK(fingerprint(leap.estimate) ==
+              fingerprint(warm.estimate));
+    }
+}
+
+void
 testShuffleReproducibilityAndEarlyStop()
 {
     const auto config = uarch::MachineConfig::eightWay();
@@ -634,6 +715,7 @@ main()
     testLibraryRoundtripAndRefusals();
     testStoreRoundtrip();
     testAnytimeCompletionBitIdentical();
+    testLeapfrogColdOverlapBitIdentical();
     testShuffleReproducibilityAndEarlyStop();
     testEstimateAnytimeEndToEnd();
     TEST_MAIN_SUMMARY();

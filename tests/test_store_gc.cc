@@ -1,0 +1,511 @@
+/**
+ * @file
+ * The CheckpointStore cache-service tier (docs/store-service.md):
+ * budget-driven LRU eviction against a SCRIPTED logical-atime
+ * sequence, pin/lease exclusivity and GC veto, the op counters that
+ * make cache behavior assertable (one stat per cold lookup, zero on
+ * warm; memoized directory creation), journal crash-recovery
+ * (truncated or corrupted store-index → directory-scan rebuild that
+ * CONVERGES: next open is clean), and — the reason this suite runs
+ * under TSan/ASan in CI — N reader threads racing saves, GC and
+ * pinning with ZERO torn loads: every lookup is either a validated
+ * library or a clean miss, never a refusal.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint_store.hh"
+#include "core/livepoint.hh"
+#include "core/sampler.hh"
+#include "core/session.hh"
+#include "core/store_index.hh"
+#include "uarch/config.hh"
+#include "workloads/benchmark.hh"
+
+#include "check.hh"
+
+using namespace smarts;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *kRoot = "test_store_gc_root";
+
+core::SamplingConfig
+defaultSampling()
+{
+    core::SamplingConfig sc;
+    sc.unitSize = 1000;
+    sc.detailedWarming = 2000;
+    // A sparse design keeps the shared library small: this suite
+    // exercises bytes-and-keys store mechanics (and runs under
+    // TSan in CI), not estimator quality.
+    sc.interval = 25;
+    sc.warming = core::WarmingMode::Functional;
+    return sc;
+}
+
+/** One small real library, captured once and reused by every test:
+ *  the GC/index machinery only cares about bytes and keys. */
+const core::LivePointLibrary &
+sharedLibrary()
+{
+    static const core::LivePointLibrary library = [] {
+        const auto spec = workloads::findBenchmark(
+            "sort-1", workloads::Scale::Mini);
+        core::SimSession session(
+            spec, uarch::MachineConfig::eightWay());
+        return core::LivePointLibrary::build(session,
+                                             defaultSampling());
+    }();
+    return library;
+}
+
+/** Key variant @p ordinal: same benchmark and sampling design,
+ *  distinct geometry hash — distinct store entries whose files are
+ *  byte-for-byte the same SIZE (uniform LRU arithmetic). */
+core::LibraryKey
+keyVariant(std::uint64_t ordinal)
+{
+    const auto spec =
+        workloads::findBenchmark("sort-1", workloads::Scale::Mini);
+    core::LibraryKey key;
+    key.benchmark = spec;
+    key.sampling = defaultSampling();
+    key.geometryHash = 0xfeed0000 + ordinal;
+    return key;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** The rel-paths of @p store's index in LRU (oldest-first) order,
+ *  read back from the journal ON DISK — asserting the persisted
+ *  access order, not just the in-memory one. */
+std::vector<std::string>
+journaledLruOrder(const core::CheckpointStore &store)
+{
+    std::string error;
+    const auto index = core::StoreIndex::load(store.indexPath(),
+                                              &error);
+    CHECK(index.has_value());
+    CHECK_EQ(error, std::string());
+    std::vector<std::string> rels;
+    if (index)
+        for (const auto &[rel, entry] : index->lruOrder())
+            rels.push_back(rel);
+    return rels;
+}
+
+std::string
+relOf(const core::CheckpointStore &store, const core::LibraryKey &key)
+{
+    const std::string path = store.livePointPathFor(key);
+    return path.substr(store.root().size() + 1);
+}
+
+void
+testCountersSingleStatAndMemoizedDirs()
+{
+    const std::string root = std::string(kRoot) + "/counters";
+    core::CheckpointStore store(root);
+    const core::LibraryKey k0 = keyVariant(0);
+    const core::LibraryKey k1 = keyVariant(1);
+
+    // Cold lookup on a fresh store: exactly ONE disk probe, a
+    // silent miss, nothing else.
+    std::string error;
+    CHECK(!store.tryLoadLivePoints(k0, &error).has_value());
+    CHECK_EQ(error, std::string());
+    core::StoreCounters c = store.counters();
+    CHECK_EQ(c.misses, std::uint64_t(1));
+    CHECK_EQ(c.statCalls, std::uint64_t(1));
+    CHECK_EQ(c.hits, std::uint64_t(0));
+
+    // First publish creates the benchmark directory ONCE...
+    CHECK(store.saveLivePoints(sharedLibrary(), k0, &error));
+    c = store.counters();
+    CHECK_EQ(c.saves, std::uint64_t(1));
+    CHECK_EQ(c.dirEnsures, std::uint64_t(1));
+
+    // ...and a second key in the same directory reuses the memo.
+    CHECK(store.saveLivePoints(sharedLibrary(), k1, &error));
+    c = store.counters();
+    CHECK_EQ(c.saves, std::uint64_t(2));
+    CHECK_EQ(c.dirEnsures, std::uint64_t(1));
+
+    // Warm lookups are index-served: ZERO additional stat calls.
+    CHECK(store.tryLoadLivePoints(k0, &error).has_value());
+    CHECK(store.tryLoadLivePoints(k1, &error).has_value());
+    c = store.counters();
+    CHECK_EQ(c.statCalls, std::uint64_t(1));
+    CHECK_EQ(c.hits, std::uint64_t(2));
+    CHECK_EQ(c.touches, std::uint64_t(2));
+
+    // A SECOND process (fresh instance, same root) inherits the
+    // journal: its warm lookup needs no probe either.
+    core::CheckpointStore reopened(root);
+    CHECK(reopened.tryLoadLivePoints(k0, &error).has_value());
+    c = reopened.counters();
+    CHECK_EQ(c.statCalls, std::uint64_t(0));
+    CHECK_EQ(c.hits, std::uint64_t(1));
+    CHECK_EQ(c.rebuilds, std::uint64_t(0));
+
+    // An entry published BEHIND the index (external writer): one
+    // probe finds it, installs it, and the next lookup is free.
+    const core::LibraryKey k2 = keyVariant(2);
+    CHECK(sharedLibrary().save(k2, store.livePointPathFor(k2),
+                               &error));
+    CHECK(reopened.tryLoadLivePoints(k2, &error).has_value());
+    CHECK(reopened.tryLoadLivePoints(k2, &error).has_value());
+    c = reopened.counters();
+    CHECK_EQ(c.statCalls, std::uint64_t(1));
+    CHECK_EQ(c.hits, std::uint64_t(3));
+}
+
+void
+testScriptedLruOrderAndBudgetedGc()
+{
+    const std::string root = std::string(kRoot) + "/lru";
+    std::string error;
+
+    // Populate five uniform-size entries through an unbounded store.
+    {
+        core::CheckpointStore store(root);
+        for (std::uint64_t i = 0; i < 5; ++i)
+            CHECK(store.saveLivePoints(sharedLibrary(),
+                                       keyVariant(i), &error));
+    }
+
+    std::error_code ec;
+    const std::uint64_t size = fs::file_size(
+        core::CheckpointStore(root).livePointPathFor(keyVariant(0)),
+        ec);
+    CHECK(size > 0);
+
+    // Reopen with a budget that fits exactly two entries and SCRIPT
+    // the access sequence: the logical clock makes LRU a pure
+    // function of it, no wall time anywhere.
+    core::StoreOptions options;
+    options.budgetBytes = 2 * size + size / 2;
+    core::CheckpointStore store(root, options);
+    CHECK(store.touch(keyVariant(0), true) > 0); // 0 → recently used
+    CHECK(store.touch(keyVariant(2), true) > 0); // 2 → most recent
+
+    // The journal must already spell the scripted order:
+    // 1, 3, 4 (save order), then the touched 0, then 2.
+    const std::vector<std::string> before = journaledLruOrder(store);
+    CHECK_EQ(before.size(), std::size_t(5));
+    if (before.size() == 5) {
+        CHECK_EQ(before[0], relOf(store, keyVariant(1)));
+        CHECK_EQ(before[1], relOf(store, keyVariant(3)));
+        CHECK_EQ(before[2], relOf(store, keyVariant(4)));
+        CHECK_EQ(before[3], relOf(store, keyVariant(0)));
+        CHECK_EQ(before[4], relOf(store, keyVariant(2)));
+    }
+
+    // GC evicts exactly the three least-recently-used entries and
+    // lands within budget.
+    CHECK_EQ(store.gc(&error), std::size_t(3));
+    CHECK_EQ(error, std::string());
+    CHECK(store.totalBytes() <= options.budgetBytes);
+    CHECK_EQ(store.totalBytes(), 2 * size);
+    const core::StoreCounters c = store.counters();
+    CHECK_EQ(c.evictions, std::uint64_t(3));
+    CHECK_EQ(c.bytesEvicted, 3 * size);
+    CHECK(c.gcRuns >= 1);
+
+    CHECK(!fs::exists(store.livePointPathFor(keyVariant(1)), ec));
+    CHECK(!fs::exists(store.livePointPathFor(keyVariant(3)), ec));
+    CHECK(!fs::exists(store.livePointPathFor(keyVariant(4)), ec));
+    CHECK(fs::exists(store.livePointPathFor(keyVariant(0)), ec));
+    CHECK(fs::exists(store.livePointPathFor(keyVariant(2)), ec));
+
+    // Survivors still LOAD (eviction never tears what it keeps),
+    // and the evicted key is a clean miss, not a refusal.
+    CHECK(store.tryLoadLivePoints(keyVariant(0), &error).has_value());
+    CHECK(!store.tryLoadLivePoints(keyVariant(1), &error)
+               .has_value());
+    CHECK_EQ(error, std::string());
+
+    const std::vector<std::string> after = journaledLruOrder(store);
+    CHECK_EQ(after.size(), std::size_t(2));
+}
+
+void
+testPinLeaseExclusivityAndGcVeto()
+{
+    const std::string root = std::string(kRoot) + "/pins";
+    std::string error;
+
+    std::uint64_t size = 0;
+    {
+        core::CheckpointStore store(root);
+        CHECK(store.saveLivePoints(sharedLibrary(), keyVariant(0),
+                                   &error));
+        std::error_code ec;
+        size = fs::file_size(
+            store.livePointPathFor(keyVariant(0)), ec);
+
+        // One pin per (entry, owner): the second claim with the
+        // SAME owner is refused while the lease lives...
+        auto lease = store.pin(keyVariant(0), true, "owner-a");
+        CHECK(lease.has_value());
+        CHECK(!store.pin(keyVariant(0), true, "owner-a")
+                   .has_value());
+        // ...while a DIFFERENT owner shares the entry fine.
+        auto other = store.pin(keyVariant(0), true, "owner-b");
+        CHECK(other.has_value());
+
+        // Release → the same owner can pin again.
+        lease->release();
+        CHECK(store.pin(keyVariant(0), true, "owner-a").has_value());
+
+        // Pinning a key with no entry protects nothing.
+        CHECK(!store.pin(keyVariant(7), true, "owner-a")
+                   .has_value());
+    }
+    // All leases above died with their scope: markers are gone.
+
+    // A held pin VETOES eviction of the LRU victim; GC falls through
+    // to the next victim and still meets the budget.
+    core::StoreOptions options;
+    options.budgetBytes = 2 * size + size / 2;
+    core::CheckpointStore store(root, options);
+    CHECK(store.saveLivePoints(sharedLibrary(), keyVariant(1),
+                               &error));
+    {
+        auto lease = store.pin(keyVariant(0), true, "holder");
+        CHECK(lease.has_value());
+        // Key 2's save pushes the store over budget; key 0 is LRU
+        // but pinned, so key 1 is evicted instead.
+        CHECK(store.saveLivePoints(sharedLibrary(), keyVariant(2),
+                                   &error));
+        std::error_code ec;
+        CHECK(fs::exists(store.livePointPathFor(keyVariant(0)), ec));
+        CHECK(
+            !fs::exists(store.livePointPathFor(keyVariant(1)), ec));
+        const core::StoreCounters c = store.counters();
+        CHECK(c.pinSkips >= 1);
+        CHECK_EQ(c.evictions, std::uint64_t(1));
+    }
+
+    // Lease released: the once-protected entry is evictable again.
+    CHECK(store.saveLivePoints(sharedLibrary(), keyVariant(3),
+                               &error));
+    std::error_code ec;
+    CHECK(!fs::exists(store.livePointPathFor(keyVariant(0)), ec));
+    CHECK(store.totalBytes() <= options.budgetBytes);
+}
+
+void
+testJournalCrashRecovery()
+{
+    const std::string root = std::string(kRoot) + "/crash";
+    std::string error;
+    {
+        core::CheckpointStore store(root);
+        for (std::uint64_t i = 0; i < 3; ++i)
+            CHECK(store.saveLivePoints(sharedLibrary(),
+                                       keyVariant(i), &error));
+        CHECK(store.touch(keyVariant(0), true) > 0);
+    }
+    const std::string indexPath =
+        core::CheckpointStore(root).indexPath();
+    const std::vector<std::uint8_t> good = readFileBytes(indexPath);
+    CHECK(good.size() > 16);
+
+    auto expectRecovery = [&](const char *what) {
+        core::CheckpointStore store(root);
+        // The refused journal is rebuilt from a directory scan —
+        // every entry is found again, sizes are exact, and lookups
+        // work immediately.
+        CHECK(store.tryLoadLivePoints(keyVariant(1), &error)
+                  .has_value());
+        const core::StoreCounters c = store.counters();
+        CHECK_EQ(c.rebuilds, std::uint64_t(1));
+        const std::uint64_t expectBytes =
+            3 * fs::file_size(
+                    store.livePointPathFor(keyVariant(0)));
+        CHECK_EQ(store.totalBytes(), expectBytes);
+        CHECK_EQ(journaledLruOrder(store).size(), std::size_t(3));
+        if (core::StoreIndex::load(indexPath, &error)) {
+            // Converged: the rebuild republished a clean snapshot,
+            // so the NEXT open pays nothing.
+            core::CheckpointStore next(root);
+            CHECK(next.tryLoadLivePoints(keyVariant(2), &error)
+                      .has_value());
+            CHECK_EQ(next.counters().rebuilds, std::uint64_t(0));
+        } else {
+            CHECK(false);
+            std::fprintf(stderr,
+                         "  %s: snapshot after rebuild refuses: "
+                         "%s\n",
+                         what, error.c_str());
+        }
+    };
+
+    // Crash mid-append: the journal ends in a torn record.
+    writeFileBytes(indexPath,
+                   std::vector<std::uint8_t>(
+                       good.begin(), good.end() - 5));
+    expectRecovery("truncated journal");
+
+    // Bit rot inside a committed record: the per-record checksum
+    // refuses the WHOLE journal (no partial trust), then rebuilds.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[16 + (bad.size() - 16) / 2] ^= 0x20;
+        writeFileBytes(indexPath, bad);
+        expectRecovery("corrupted journal");
+    }
+
+    // Journal deleted outright (fresh clone of a populated store):
+    // same convergence.
+    {
+        std::error_code ec;
+        fs::remove(indexPath, ec);
+        expectRecovery("missing journal");
+    }
+}
+
+void
+testConcurrentReadersUnderGc()
+{
+    const std::string root = std::string(kRoot) + "/race";
+    std::string error;
+
+    // Seed one entry to size the budget.
+    core::StoreOptions options;
+    {
+        core::CheckpointStore seed(root);
+        CHECK(seed.saveLivePoints(sharedLibrary(), keyVariant(0),
+                                  &error));
+        std::error_code ec;
+        const std::uint64_t size = fs::file_size(
+            seed.livePointPathFor(keyVariant(0)), ec);
+        options.budgetBytes = 2 * size + size / 2;
+    }
+
+    // One store instance, shared: a writer cycling saves over six
+    // keys (every save triggers GC at this budget — constant
+    // eviction), a pinner claiming and releasing leases, and four
+    // readers hammering lookups. The contract under test: NO TORN
+    // LOADS — every lookup is a fully validated library or a clean
+    // miss; a refusal (diagnostic set) means a reader saw a
+    // half-dead file.
+    core::CheckpointStore store(root, options);
+    constexpr int kKeys = 6;
+    constexpr int kWriterIters = 24;
+    const std::size_t expectUnits = sharedLibrary().unitCount();
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> tornLoads{0};
+    std::atomic<std::uint64_t> badLibraries{0};
+    std::atomic<std::uint64_t> cleanHits{0};
+    std::atomic<std::uint64_t> cleanMisses{0};
+    std::atomic<std::uint64_t> saveFailures{0};
+
+    std::thread writer([&] {
+        std::string err;
+        for (int i = 0; i < kWriterIters; ++i)
+            if (!store.saveLivePoints(sharedLibrary(),
+                                      keyVariant(i % kKeys), &err))
+                saveFailures.fetch_add(1);
+        done.store(true);
+    });
+
+    std::thread pinner([&] {
+        for (int i = 0; !done.load(); ++i) {
+            auto lease =
+                store.pin(keyVariant(i % kKeys), true, "pinner");
+            std::this_thread::yield();
+            // lease releases at scope exit; GC may have been vetoed
+            // meanwhile — that is the point.
+        }
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 4; ++r)
+        readers.emplace_back([&, r] {
+            std::string err;
+            for (int i = 0; !done.load(); ++i) {
+                const auto library = store.tryLoadLivePoints(
+                    keyVariant((r + i) % kKeys), &err);
+                if (library) {
+                    cleanHits.fetch_add(1);
+                    if (library->unitCount() != expectUnits)
+                        badLibraries.fetch_add(1);
+                } else if (err.empty()) {
+                    cleanMisses.fetch_add(1);
+                } else {
+                    tornLoads.fetch_add(1);
+                    std::fprintf(stderr, "  torn load: %s\n",
+                                 err.c_str());
+                }
+            }
+        });
+
+    writer.join();
+    pinner.join();
+    for (std::thread &t : readers)
+        t.join();
+
+    CHECK_EQ(tornLoads.load(), std::uint64_t(0));
+    CHECK_EQ(badLibraries.load(), std::uint64_t(0));
+    CHECK_EQ(saveFailures.load(), std::uint64_t(0));
+    CHECK(cleanHits.load() + cleanMisses.load() > 0);
+    CHECK_EQ(store.counters().refusals, std::uint64_t(0));
+
+    // The dust settles within budget (nothing pinned anymore — the
+    // last save's GC pass may have been vetoed by a live pin, so
+    // this sweep may still evict), and every surviving entry
+    // validates.
+    store.gc(&error);
+    CHECK_EQ(error, std::string());
+    CHECK(store.totalBytes() <= options.budgetBytes);
+    std::size_t survivors = 0;
+    for (int i = 0; i < kKeys; ++i)
+        if (store.tryLoadLivePoints(keyVariant(i), &error))
+            ++survivors;
+    CHECK(survivors >= 1);
+    CHECK_EQ(store.counters().refusals, std::uint64_t(0));
+}
+
+} // namespace
+
+int
+main()
+{
+    fs::remove_all(kRoot);
+    fs::create_directories(kRoot);
+
+    testCountersSingleStatAndMemoizedDirs();
+    testScriptedLruOrderAndBudgetedGc();
+    testPinLeaseExclusivityAndGcVeto();
+    testJournalCrashRecovery();
+    testConcurrentReadersUnderGc();
+    TEST_MAIN_SUMMARY();
+}

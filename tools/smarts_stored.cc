@@ -1,0 +1,519 @@
+/**
+ * @file
+ * smarts_stored: the checkpoint-store daemon (docs/store-service.md).
+ * One binary, two roles:
+ *
+ * DAEMON (default): own ONE hot CheckpointStore — index, byte
+ * budget, LRU GC, counters — and serve live-point lookups for any
+ * number of concurrent leader processes over the file protocol of
+ * distrib/store_service.hh. Same-key misses arriving in one scan
+ * are captured ONCE (single-flight); every reply echoes the daemon's
+ * cumulative counters so clients (and tests) can observe that from
+ * the outside. Exits when --max-requests have been served, when the
+ * service has been idle past --ttl, or when the presence marker is
+ * removed; on exit it writes the --json stats artifact
+ * (BENCH_store.json in CI).
+ *
+ *   smarts_stored --root=<store> --svc=<dir> [--budget=<bytes>]
+ *       [--max-requests=<n>] [--ttl=<s>] [--poll-ms=<ms>]
+ *       [--json=<file>]
+ *
+ * CLIENT (--lookup): one request through the full
+ * StoreServiceClient path — publish, poll, validate, degrade to a
+ * local store if the daemon is absent or dies — then report what
+ * happened in grep-friendly key=value form. This is the two-leader
+ * CI recipe's leader.
+ *
+ *   smarts_stored --lookup --svc=<dir> --store=<local-store>
+ *       --benchmark=<name> [--scale=mini|small|large]
+ *       [--machine=8|16] [--unit=<U>] [--warm=<W>]
+ *       [--interval=<k>|0=auto] [--offset=<j>] [--timeout=<s>]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/checkpoint_store.hh"
+#include "core/livepoint.hh"
+#include "core/session.hh"
+#include "distrib/protocol.hh"
+#include "distrib/store_service.hh"
+#include "uarch/config.hh"
+#include "util/logging.hh"
+#include "workloads/benchmark.hh"
+
+using namespace smarts;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options
+{
+    bool lookup = false;
+    std::string root;  ///< daemon: the store it owns.
+    std::string svc;   ///< service directory (both roles).
+    std::string store; ///< client: local fallback store.
+    std::uint64_t budget = 0;
+    std::uint64_t maxRequests = 0; ///< 0 = serve forever.
+    double ttl = 0.0;              ///< idle exit; 0 = never.
+    double pollMs = 20.0;
+    std::string jsonPath;
+
+    // Client-mode study parameters.
+    std::string benchmark;
+    workloads::Scale scale = workloads::Scale::Mini;
+    bool sixteen = false;
+    std::uint64_t unit = 1000;
+    std::uint64_t warm = 2000;
+    std::uint64_t interval = 0; ///< 0 = auto (chooseInterval).
+    std::uint64_t offset = 0;
+    double timeout = 120.0;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  %s --root=<store> --svc=<dir> [--budget=<bytes>] "
+        "[--max-requests=<n>] [--ttl=<s>]\n"
+        "      [--poll-ms=<ms>] [--json=<file>]\n"
+        "  %s --lookup --svc=<dir> --store=<local-store> "
+        "--benchmark=<name>\n"
+        "      [--scale=mini|small|large] [--machine=8|16] "
+        "[--unit=<U>] [--warm=<W>]\n"
+        "      [--interval=<k>|0=auto] [--offset=<j>] "
+        "[--timeout=<s>]\n"
+        "see docs/store-service.md\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            return arg.rfind(prefix, 0) == 0
+                       ? arg.c_str() + std::strlen(prefix)
+                       : nullptr;
+        };
+        if (arg == "--lookup") {
+            opt.lookup = true;
+        } else if (const char *v = value("--root=")) {
+            opt.root = v;
+        } else if (const char *v2 = value("--svc=")) {
+            opt.svc = v2;
+        } else if (const char *v3 = value("--store=")) {
+            opt.store = v3;
+        } else if (const char *v4 = value("--budget=")) {
+            opt.budget = std::strtoull(v4, nullptr, 10);
+        } else if (const char *v5 = value("--max-requests=")) {
+            opt.maxRequests = std::strtoull(v5, nullptr, 10);
+        } else if (const char *v6 = value("--ttl=")) {
+            opt.ttl = std::atof(v6);
+        } else if (const char *v7 = value("--poll-ms=")) {
+            opt.pollMs = std::atof(v7);
+            if (opt.pollMs <= 0.0)
+                SMARTS_FATAL("--poll-ms must be positive");
+        } else if (const char *v8 = value("--json=")) {
+            opt.jsonPath = v8;
+        } else if (const char *v9 = value("--benchmark=")) {
+            opt.benchmark = v9;
+        } else if (const char *v10 = value("--scale=")) {
+            if (!std::strcmp(v10, "mini"))
+                opt.scale = workloads::Scale::Mini;
+            else if (!std::strcmp(v10, "small"))
+                opt.scale = workloads::Scale::Small;
+            else if (!std::strcmp(v10, "large"))
+                opt.scale = workloads::Scale::Large;
+            else
+                SMARTS_FATAL("unknown scale '", v10, "'");
+        } else if (const char *v11 = value("--machine=")) {
+            opt.sixteen = !std::strcmp(v11, "16");
+        } else if (const char *v12 = value("--unit=")) {
+            opt.unit = std::strtoull(v12, nullptr, 10);
+        } else if (const char *v13 = value("--warm=")) {
+            opt.warm = std::strtoull(v13, nullptr, 10);
+        } else if (const char *v14 = value("--interval=")) {
+            opt.interval = std::strtoull(v14, nullptr, 10);
+        } else if (const char *v15 = value("--offset=")) {
+            opt.offset = std::strtoull(v15, nullptr, 10);
+        } else if (const char *v16 = value("--timeout=")) {
+            opt.timeout = std::atof(v16);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (opt.svc.empty())
+        usage(argv[0]);
+    if (opt.lookup && (opt.store.empty() || opt.benchmark.empty()))
+        usage(argv[0]);
+    if (!opt.lookup && opt.root.empty())
+        usage(argv[0]);
+    return opt;
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+    idx = idx ? idx - 1 : 0;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/** Daemon-lifetime request accounting (reply echo + JSON export). */
+struct DaemonStats
+{
+    std::uint64_t served = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t captures = 0;
+    std::uint64_t refused = 0;
+    std::vector<double> lookupMs;
+};
+
+void
+writeStatsJson(const Options &opt, const DaemonStats &stats,
+               const core::StoreCounters &counters,
+               std::uint64_t totalBytes)
+{
+    if (opt.jsonPath.empty())
+        return;
+    std::FILE *json = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "smarts_stored: cannot write %s\n",
+                     opt.jsonPath.c_str());
+        return;
+    }
+    const std::uint64_t looked = stats.hits + stats.misses;
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"tool\": \"smarts_stored\",\n"
+        "  \"budget_bytes\": %llu,\n"
+        "  \"requests\": %llu,\n"
+        "  \"hits\": %llu,\n"
+        "  \"misses\": %llu,\n"
+        "  \"captures\": %llu,\n"
+        "  \"refused\": %llu,\n"
+        "  \"hit_rate\": %.4f,\n"
+        "  \"evictions\": %llu,\n"
+        "  \"bytes_evicted\": %llu,\n"
+        "  \"pin_skips\": %llu,\n"
+        "  \"gc_runs\": %llu,\n"
+        "  \"rebuilds\": %llu,\n"
+        "  \"total_bytes\": %llu,\n"
+        "  \"lookup_ms\": {\"p50\": %.3f, \"p90\": %.3f, "
+        "\"p99\": %.3f, \"max\": %.3f}\n"
+        "}\n",
+        static_cast<unsigned long long>(opt.budget),
+        static_cast<unsigned long long>(stats.served),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.captures),
+        static_cast<unsigned long long>(stats.refused),
+        looked ? static_cast<double>(stats.hits) /
+                     static_cast<double>(looked)
+               : 0.0,
+        static_cast<unsigned long long>(counters.evictions),
+        static_cast<unsigned long long>(counters.bytesEvicted),
+        static_cast<unsigned long long>(counters.pinSkips),
+        static_cast<unsigned long long>(counters.gcRuns),
+        static_cast<unsigned long long>(counters.rebuilds),
+        static_cast<unsigned long long>(totalBytes),
+        percentile(stats.lookupMs, 0.50),
+        percentile(stats.lookupMs, 0.90),
+        percentile(stats.lookupMs, 0.99),
+        stats.lookupMs.empty()
+            ? 0.0
+            : *std::max_element(stats.lookupMs.begin(),
+                                stats.lookupMs.end()));
+    std::fclose(json);
+    std::printf("smarts_stored: json %s\n", opt.jsonPath.c_str());
+}
+
+/** One pending request with its service-latency start mark. */
+struct Pending
+{
+    std::string file;  ///< request file path.
+    std::string reqId; ///< file stem (authoritative for the reply).
+    std::optional<distrib::StoreRequest> request;
+    std::string error;
+    distrib::StoreReplyStatus status =
+        distrib::StoreReplyStatus::Refused;
+    std::chrono::steady_clock::time_point start;
+};
+
+int
+daemonMain(const Options &opt)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(opt.svc) / "requests", ec);
+    fs::create_directories(fs::path(opt.svc) / "replies", ec);
+
+    // Exactly one daemon per service directory: publish the
+    // presence marker atomically and refuse to start over a live
+    // one. Removing the marker is the polite external stop signal.
+    const std::string marker = distrib::daemonMarkerPath(opt.svc);
+    if (fs::exists(marker, ec)) {
+        std::fprintf(stderr,
+                     "smarts_stored: %s already exists (daemon "
+                     "running? remove it to force)\n",
+                     marker.c_str());
+        return 1;
+    }
+    {
+        const std::string tmp =
+            log::format(marker, ".tmp.", ::getpid());
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (!f)
+            SMARTS_FATAL("cannot write ", tmp);
+        std::fprintf(f, "%d\n", static_cast<int>(::getpid()));
+        std::fclose(f);
+        fs::rename(tmp, marker, ec);
+        if (ec)
+            SMARTS_FATAL("cannot publish ", marker);
+    }
+
+    core::StoreOptions sopt;
+    sopt.budgetBytes = opt.budget;
+    core::CheckpointStore store(opt.root, sopt);
+
+    std::printf("smarts_stored: serving %s at %s (budget %llu "
+                "bytes)\n",
+                opt.root.c_str(), opt.svc.c_str(),
+                static_cast<unsigned long long>(opt.budget));
+    std::fflush(stdout);
+
+    DaemonStats stats;
+    distrib::PollBackoff backoff(opt.pollMs);
+    auto lastActivity = std::chrono::steady_clock::now();
+    const std::string requestsDir =
+        (fs::path(opt.svc) / "requests").string();
+
+    bool stop = false;
+    while (!stop) {
+        // The marker doubles as the kill switch: removal (or a
+        // crashed cleanup from a previous test) means stop serving.
+        if (!fs::exists(marker, ec))
+            break;
+
+        // Collect this scan's requests in name order (deterministic
+        // service order for tests).
+        std::vector<Pending> pending;
+        {
+            fs::directory_iterator it(requestsDir, ec);
+            if (!ec) {
+                for (const fs::directory_entry &entry : it) {
+                    if (entry.path().extension() != ".req")
+                        continue;
+                    Pending p;
+                    p.file = entry.path().string();
+                    p.reqId = entry.path().stem().string();
+                    pending.push_back(std::move(p));
+                }
+            }
+            std::sort(pending.begin(), pending.end(),
+                      [](const Pending &a, const Pending &b) {
+                          return a.file < b.file;
+                      });
+        }
+
+        if (pending.empty()) {
+            const auto now = std::chrono::steady_clock::now();
+            if (opt.ttl > 0.0 &&
+                std::chrono::duration<double>(now - lastActivity)
+                        .count() >= opt.ttl)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    backoff.nextMs()));
+            continue;
+        }
+        backoff.reset();
+        lastActivity = std::chrono::steady_clock::now();
+
+        // Parse everything first, then group misses by entry path:
+        // same-key requests from N leaders trigger ONE capture
+        // (single-flight), and every waiter's reply names the same
+        // published entry.
+        std::map<std::string, std::vector<std::size_t>> groups;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            Pending &p = pending[i];
+            p.start = std::chrono::steady_clock::now();
+            p.request = distrib::StoreRequest::load(p.file, &p.error);
+            if (p.request)
+                groups[store.livePointPathFor(p.request->key())]
+                    .push_back(i);
+        }
+
+        for (auto &[entryPath, members] : groups) {
+            const distrib::StoreRequest &head =
+                *pending[members.front()].request;
+            const bool present = fs::exists(entryPath, ec);
+            std::uint64_t captured = 0;
+            if (!present) {
+                captured = store.ensureLivePoints(
+                    head.benchmark, {head.machine}, head.sampling);
+                stats.captures += captured;
+                std::printf("smarts_stored: captured %llu "
+                            "librar%s for %s (%zu waiter%s)\n",
+                            static_cast<unsigned long long>(
+                                captured),
+                            captured == 1 ? "y" : "ies",
+                            entryPath.c_str(), members.size(),
+                            members.size() == 1 ? "" : "s");
+                std::fflush(stdout);
+            }
+            const bool ok = present || fs::exists(entryPath, ec);
+            for (const std::size_t i : members) {
+                Pending &p = pending[i];
+                if (ok) {
+                    present ? ++stats.hits : ++stats.misses;
+                    p.status =
+                        present
+                            ? distrib::StoreReplyStatus::Hit
+                            : distrib::StoreReplyStatus::Captured;
+                    store.touch(p.request->key(), true);
+                } else {
+                    p.error = log::format(
+                        "live-point capture failed for ",
+                        entryPath);
+                }
+            }
+        }
+
+        for (Pending &p : pending) {
+            distrib::StoreReply reply;
+            reply.reqId = p.reqId;
+            if (p.request && p.error.empty()) {
+                reply.status = p.status;
+                reply.path =
+                    store.livePointPathFor(p.request->key());
+            } else {
+                reply.status = distrib::StoreReplyStatus::Refused;
+                reply.error = p.error;
+                ++stats.refused;
+            }
+            const core::StoreCounters counters = store.counters();
+            reply.hits = stats.hits;
+            reply.misses = stats.misses;
+            reply.captures = stats.captures;
+            reply.evictions = counters.evictions;
+            std::string error;
+            if (!reply.save(
+                    distrib::replyPath(opt.svc, p.reqId), &error))
+                std::fprintf(stderr,
+                             "smarts_stored: cannot reply to %s: "
+                             "%s\n",
+                             p.reqId.c_str(), error.c_str());
+            fs::remove(p.file, ec);
+            stats.lookupMs.push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - p.start)
+                    .count());
+            ++stats.served;
+            if (opt.maxRequests &&
+                stats.served >= opt.maxRequests) {
+                stop = true;
+            }
+        }
+    }
+
+    fs::remove(marker, ec);
+    const core::StoreCounters counters = store.counters();
+    writeStatsJson(opt, stats, counters, store.totalBytes());
+    std::printf("smarts_stored: exiting after %llu request(s) "
+                "(%llu hit, %llu miss, %llu captured, %llu "
+                "refused, %llu evicted)\n",
+                static_cast<unsigned long long>(stats.served),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.captures),
+                static_cast<unsigned long long>(stats.refused),
+                static_cast<unsigned long long>(counters.evictions));
+    return 0;
+}
+
+int
+lookupMain(const Options &opt)
+{
+    const workloads::BenchmarkSpec spec =
+        workloads::findBenchmark(opt.benchmark, opt.scale);
+    const uarch::MachineConfig machine =
+        opt.sixteen ? uarch::MachineConfig::sixteenWay()
+                    : uarch::MachineConfig::eightWay();
+
+    core::SamplingConfig sc;
+    sc.unitSize = opt.unit;
+    sc.detailedWarming = opt.warm;
+    sc.warming = core::WarmingMode::Functional;
+    sc.offset = opt.offset;
+    if (opt.interval) {
+        sc.interval = opt.interval;
+    } else {
+        core::SimSession probe(spec, machine);
+        const std::uint64_t length =
+            probe.fastForward(~0ull >> 1, core::WarmingMode::None);
+        sc.interval = core::SamplingConfig::chooseInterval(
+            length, sc.unitSize, length / sc.unitSize / 4);
+    }
+
+    core::CheckpointStore local(opt.store);
+    distrib::StoreServiceClient client(opt.svc);
+    const distrib::StoreServiceOutcome outcome =
+        client.ensureLivePoints(local, spec, machine, sc,
+                                opt.timeout);
+
+    std::printf(
+        "smarts_stored lookup: ok=%d degraded=%d captured=%d "
+        "units=%zu daemon_hits=%llu daemon_misses=%llu "
+        "daemon_captures=%llu daemon_evictions=%llu\n",
+        outcome.library ? 1 : 0, outcome.degraded ? 1 : 0,
+        outcome.captured ? 1 : 0,
+        outcome.library ? outcome.library->unitCount() : 0,
+        static_cast<unsigned long long>(
+            outcome.reply ? outcome.reply->hits : 0),
+        static_cast<unsigned long long>(
+            outcome.reply ? outcome.reply->misses : 0),
+        static_cast<unsigned long long>(
+            outcome.reply ? outcome.reply->captures : 0),
+        static_cast<unsigned long long>(
+            outcome.reply ? outcome.reply->evictions : 0));
+    if (!outcome.library) {
+        std::fprintf(stderr, "smarts_stored lookup: %s\n",
+                     outcome.error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    return opt.lookup ? lookupMain(opt) : daemonMain(opt);
+}
