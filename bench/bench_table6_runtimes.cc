@@ -66,6 +66,7 @@
 #include "distrib/leader.hh"
 #include "exec/experiment.hh"
 #include "exec/thread_pool.hh"
+#include "mp/mix_sampler.hh"
 #include "util/logging.hh"
 
 using namespace smarts;
@@ -1667,6 +1668,220 @@ designStudySection(const BenchOptions &opt)
     std::fflush(stdout);
 }
 
+/**
+ * Multi-programmed co-run mixes (mp::MixSampler): two programs
+ * advance in lockstep over one shared L2 while per-program shadow
+ * tags replay each program's would-be-solo L2 stream, so ONE
+ * sampled co-run yields both the co-run estimate and a matched
+ * solo estimate per program — the paper's matched-pair trick
+ * applied to QoS. The golden-pinned columns are all deterministic:
+ * per-program CPIs, slowdown, solo/co-run L2 miss rates, the
+ * matched-pair CI on the slowdown vs what independent solo and
+ * co-run runs would give on the same units (the "ci x" column —
+ * the table's headline is that matching buys >= 2x tighter CIs),
+ * and the bitwise serial-vs-threads verdict. The JSON artifact
+ * (--json=, BENCH_mix.json in CI) carries the same numbers
+ * machine-readably plus the wall-clock timings.
+ */
+void
+mixSection(const BenchOptions &opt)
+{
+    const auto machine = uarch::MachineConfig::eightWay();
+
+    std::printf("=== Co-run mixes: shadow-tag QoS estimation, "
+                "matched-pair slowdown CIs ===\n\n");
+
+    // Three regimes from the quick suite. QoS mixes (moderate
+    // contention): the would-be-solo CPI variance is a correlated,
+    // non-trivial share of the co-run variance, so the per-unit
+    // pairing cancels it and the matched CI is >= 2x tighter — the
+    // regime QoS/SLA estimation lives in, and the rows that carry
+    // the >= 2x acceptance target. A no-contention control (the
+    // shadow tags PROVE slowdown 1.0 exactly: matched CI 0 where
+    // independent runs still pay full sampling noise). And the
+    // saturated pair (chase and mix both overflow the shared
+    // 256 KiB L2, under both policies): contention noise swamps the
+    // solo variance, so pairing converges to the independent CI —
+    // never worse, but no longer 2x.
+    struct MixSpec
+    {
+        const char *a;
+        const char *b;
+        mem::PartitionPolicy policy;
+        bool qos; ///< carries the >= 2x matched-pair target.
+    };
+    const MixSpec mixes[] = {
+        {"chase-1", "bsearch-1", mem::PartitionPolicy::Shared, true},
+        {"mix-1", "bsearch-1", mem::PartitionPolicy::Shared, true},
+        {"bsearch-1", "stream-1", mem::PartitionPolicy::Shared,
+         true},
+        {"fsm-1", "sort-1", mem::PartitionPolicy::Shared, false},
+        {"chase-1", "mix-1", mem::PartitionPolicy::Shared, false},
+        {"chase-1", "mix-1", mem::PartitionPolicy::WayPartitioned,
+         false},
+    };
+
+    TextTable det({"mix", "policy", "program", "units", "co cpi",
+                   "solo cpi", "slowdown", "solo L2 mr", "co L2 mr",
+                   "matched ci%", "indep ci%", "ci x", "qos target?",
+                   "bitwise = serial?"});
+
+    struct Row
+    {
+        std::string mix;
+        std::string policy;
+        std::string program;
+        double slowdown, soloMr, coMr;
+        double matched, indep, ratio;
+        bool qos;
+        bool identical;
+    };
+    std::vector<Row> rows;
+    double sumSerialS = 0.0, sumThreadedS = 0.0;
+    double minRatio = 0.0;
+    bool haveRatio = false;
+    std::size_t identicalCount = 0;
+
+    for (const MixSpec &ms : mixes) {
+        const mp::WorkloadMix mix = mp::WorkloadMix::of(
+            {workloads::findBenchmark(ms.a, opt.scale),
+             workloads::findBenchmark(ms.b, opt.scale)},
+            ms.policy);
+
+        core::SamplingConfig sc;
+        sc.unitSize = 500;
+        sc.detailedWarming = 1000;
+        sc.interval = 50;
+        sc.warming = core::WarmingMode::Functional;
+
+        mp::MixEstimate serial;
+        double serialS;
+        {
+            const Stopwatch t;
+            serial = mp::runMix(mix, machine, sc);
+            serialS = t.seconds();
+        }
+        mp::MixEstimate threaded;
+        double threadedS;
+        {
+            const Stopwatch t;
+            threaded = mp::runMix(mix, machine, sc, /*threads=*/5);
+            threadedS = t.seconds();
+        }
+        const bool identical =
+            serial.fingerprint() == threaded.fingerprint();
+        identicalCount += identical ? 1 : 0;
+        sumSerialS += serialS;
+        sumThreadedS += threadedS;
+
+        for (std::size_t p = 0; p < serial.perProgram.size(); ++p) {
+            const mp::MixProgramEstimate &pe = serial.perProgram[p];
+            const double matched = pe.slowdownCiRelative(0.95);
+            const double indep =
+                pe.independentSlowdownCiRelative(0.95);
+            const double ratio = matched > 0.0 ? indep / matched
+                                               : 0.0;
+            // A matched CI of exactly 0 (uncontended lane: the
+            // shadow tags prove the solo world bit-identical)
+            // beats any finite independent CI; it is excluded
+            // from the min rather than folded in as 0.
+            if (ms.qos && ratio > 0.0) {
+                minRatio = haveRatio ? std::min(minRatio, ratio)
+                                     : ratio;
+                haveRatio = true;
+            }
+            det.row()
+                .add(mix.name)
+                .add(mem::partitionPolicyName(ms.policy))
+                .add(mix.programs[p].name)
+                .add(pe.coRun.units())
+                .add(pe.coRun.cpi(), 4)
+                .add(pe.solo.cpi(), 4)
+                .add(pe.slowdown(), 4)
+                .add(pe.soloMissRate(), 4)
+                .add(pe.coMissRate(), 4)
+                .add(matched * 100.0, 3)
+                .add(indep * 100.0, 3)
+                .add(ratio, 1)
+                .add(ms.qos ? "yes" : "no")
+                .add(identical ? "yes" : "NO");
+            rows.push_back({mix.name,
+                            mem::partitionPolicyName(ms.policy),
+                            mix.programs[p].name, pe.slowdown(),
+                            pe.soloMissRate(), pe.coMissRate(),
+                            matched, indep, ratio, ms.qos,
+                            identical});
+        }
+        std::printf(".");
+        std::fflush(stdout);
+    }
+    std::printf("\n\n");
+
+    if (opt.section == "mix")
+        emit(det, opt); // golden-pinned deterministic columns.
+    else
+        std::printf("%s\n", det.toString().c_str());
+
+    std::printf(
+        "serial %.2fs | 5-thread sharded %.2fs\n"
+        "estimates bit-identical serial vs 5 threads for %zu/%zu "
+        "mixes\n"
+        "matched-pair slowdown CIs vs independent solo+co-run "
+        "runs on the same units,\n"
+        "over the QoS-regime rows: worst ratio %.1fx, target >=2x "
+        "tighter: %s\n"
+        "(saturated rows converge toward the independent CI as "
+        "contention noise swamps\n"
+        "the solo variance; uncontended lanes are exact — matched "
+        "CI 0)\n",
+        sumSerialS, sumThreadedS, identicalCount,
+        sizeof(mixes) / sizeof(mixes[0]), haveRatio ? minRatio : 0.0,
+        haveRatio && minRatio >= 2.0 ? "MET" : "NOT MET");
+    std::fflush(stdout);
+
+    if (opt.jsonPath.empty())
+        return;
+    std::FILE *json = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!json)
+        SMARTS_FATAL("cannot write ", opt.jsonPath);
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"table6_mix\",\n"
+                 "  \"scale\": \"%s\",\n"
+                 "  \"serial_s\": %.4f,\n"
+                 "  \"threaded_s\": %.4f,\n"
+                 "  \"programs\": [\n",
+                 opt.scaleName(), sumSerialS, sumThreadedS);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            json,
+            "    {\"mix\": \"%s\", \"policy\": \"%s\", "
+            "\"program\": \"%s\",\n"
+            "     \"slowdown\": %.6f, \"solo_miss_rate\": %.6f, "
+            "\"co_miss_rate\": %.6f,\n"
+            "     \"matched_ci_rel\": %.6f, "
+            "\"independent_ci_rel\": %.6f, \"ci_ratio\": %.2f, "
+            "\"qos_target\": %s, \"bitwise_serial\": %s}%s\n",
+            r.mix.c_str(), r.policy.c_str(), r.program.c_str(),
+            r.slowdown, r.soloMr, r.coMr, r.matched, r.indep,
+            r.ratio, r.qos ? "true" : "false",
+            r.identical ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"min_ci_ratio\": %.2f,\n"
+                 "  \"target_ci_ratio\": 2.0,\n"
+                 "  \"meets_target\": %s\n"
+                 "}\n",
+                 haveRatio ? minRatio : 0.0,
+                 haveRatio && minRatio >= 2.0 ? "true" : "false");
+    std::fclose(json);
+    std::printf("json: %s\n", opt.jsonPath.c_str());
+    std::fflush(stdout);
+}
+
 } // namespace
 
 int
@@ -1723,10 +1938,17 @@ main(int argc, char **argv)
         storeSection(opt);
         return 0;
     }
+    if (opt.section == "mix") {
+        banner("Table 6 (mix section): multi-programmed co-runs — "
+               "shadow-tag QoS, matched-pair slowdown CIs",
+               opt);
+        mixSection(opt);
+        return 0;
+    }
     if (!opt.section.empty())
         SMARTS_FATAL("unknown --section '", opt.section,
                      "' (supported: sharded, persist, distrib, "
-                     "distrib_scale, livepoint, store)");
+                     "distrib_scale, livepoint, store, mix)");
 
     banner("Table 6: runtimes — detailed vs functional vs SMARTS "
            "(8-way)",

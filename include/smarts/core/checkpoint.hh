@@ -49,12 +49,35 @@
 #include "core/sampler.hh"
 #include "core/session.hh"
 #include "util/binary_io.hh"
+#include "util/logging.hh"
 #include "workloads/benchmark.hh"
 
 namespace smarts::core {
 
-/** On-disk library format version (docs/checkpoint-format.md). */
-constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/**
+ * On-disk library format version (docs/checkpoint-format.md).
+ * Version 2 adds a FLAVOR byte after the endianness marker so one
+ * `.smck` container carries either solo (flavor 0) or co-run mix
+ * (flavor 1, mp::MixLibrary) state; version-1 files — always solo —
+ * still load (the v1→v2 migration path, tests/test_mix.cc).
+ */
+constexpr std::uint32_t kCheckpointFormatVersion = 2;
+
+/** File magic: 8 bytes, shared by every version and flavor. */
+constexpr char kCheckpointMagic[8] = {'S', 'M', 'R', 'T',
+                                      'C', 'K', 'P', 'T'};
+
+/**
+ * Endianness probe: written as a u32 through the little-endian
+ * encoder, so the file always carries bytes 04 03 02 01. An external
+ * reader that decodes it as anything but 0x01020304 is applying the
+ * wrong byte order.
+ */
+constexpr std::uint32_t kCheckpointEndianMark = 0x01020304u;
+
+/** v2 flavor byte: which session tier's state the payload carries. */
+constexpr std::uint8_t kCheckpointFlavorSolo = 0;
+constexpr std::uint8_t kCheckpointFlavorMix = 1;
 
 /** Full warm simulator state, resumable into a same-spec session. */
 struct ArchCheckpoint
@@ -179,6 +202,73 @@ operator!=(const ShardSpec &a, const ShardSpec &b)
 {
     return !(a == b);
 }
+
+namespace detail {
+
+/**
+ * The serial sampling schedule with state-equivalent warming, shared
+ * by every capture flavor: fastForward over the inter-unit gaps
+ * (identical to the serial run), warmAsDetailed over the
+ * detailed-warming and measured windows (identical state
+ * transitions, no timing). @p snap(shard) fires at each shard
+ * boundary — an iteration start, where the session state is
+ * bit-identical to the serial run's. Works for any session exposing
+ * the stepping surface — SimSession (one config), MultiSession (N
+ * configs in lockstep), mp::MixSession (N programs over a shared
+ * hierarchy, positions in rounds): the stream driving the schedule
+ * does not depend on what is being warmed.
+ */
+template <typename Session, typename Snap>
+void
+captureSchedule(Session &session, const SamplingConfig &config,
+                const std::vector<ShardSpec> &plan, Snap &&snap)
+{
+    if (plan.size() <= 1)
+        return;
+    const std::uint64_t u = config.unitSize;
+    const std::uint64_t w = config.detailedWarming;
+    const std::uint64_t k = config.interval;
+    if (!u || !k)
+        SMARTS_FATAL("capture needs nonzero unit size and interval");
+
+    std::uint64_t pos = session.instCount();
+    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
+    std::size_t next = 1;
+
+    while (next < plan.size()) {
+        if (unitIdx >= plan[next].firstUnitIndex) {
+            // The grid index can cross a boundary the STREAM never
+            // reached (it ended mid-unit on a mis-stated length);
+            // snapping there would persist a checkpoint load() must
+            // forever refuse. Unreachable boundary = stop.
+            if (session.instCount() < plan[next].resumePos)
+                break;
+            snap(next);
+            ++next;
+            continue;
+        }
+        // Stream shorter than planned (mis-stated length): the
+        // remaining checkpoints are unreachable.
+        if (session.finished() || unitIdx > ~0ull / u)
+            break;
+
+        const std::uint64_t unitStart = unitIdx * u;
+        const std::uint64_t warmStart =
+            unitStart > w ? unitStart - w : 0;
+        if (warmStart > pos) {
+            pos += session.fastForward(warmStart - pos,
+                                       config.warming);
+            if (session.finished())
+                continue;
+        }
+        if (unitStart > pos)
+            pos += session.warmAsDetailed(unitStart - pos);
+        pos += session.warmAsDetailed(u);
+        unitIdx += k;
+    }
+}
+
+} // namespace detail
 
 /**
  * A built checkpoint library: the shard plan plus every captured

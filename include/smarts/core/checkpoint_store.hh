@@ -41,6 +41,7 @@
 #define SMARTS_CORE_CHECKPOINT_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -233,6 +234,32 @@ class CheckpointStore
     ensureLivePoints(const workloads::BenchmarkSpec &spec,
                      const std::vector<uarch::MachineConfig> &configs,
                      const SamplingConfig &sampling) const;
+
+    /**
+     * Generic flavor of tryLoad for payloads the core does not know
+     * how to parse (e.g. mp::MixLibrary): the full store protocol —
+     * index-first existence check, pinned read, hit/miss/refusal
+     * accounting, vanished-entry cleanup — around a caller-supplied
+     * @p loader that reads and validates the file at the entry's
+     * path. Returns true on a hit (loader succeeded); a missing
+     * entry is a silent miss (empty @p error), a loader refusal on a
+     * still-existing file is a miss with the loader's diagnostic.
+     */
+    bool loadEntry(const LibraryKey &key,
+                   const std::function<bool(const std::string &path,
+                                            std::string *error)> &loader,
+                   std::string *error = nullptr) const;
+
+    /**
+     * Generic flavor of save: directory creation, the atomic
+     * publish (the @p writer must go through BinaryWriter::writeFile
+     * or an equivalent temp+rename), and index/journal/GC
+     * bookkeeping around a caller-supplied @p writer.
+     */
+    bool publishEntry(const LibraryKey &key,
+                      const std::function<bool(const std::string &path,
+                                               std::string *error)> &writer,
+                      std::string *error = nullptr) const;
 
     // --- cache service surface -----------------------------------
 

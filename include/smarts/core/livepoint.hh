@@ -51,8 +51,15 @@
 
 namespace smarts::core {
 
-/** On-disk live-point library format version (`.smlp` files). */
-constexpr std::uint32_t kLivePointFormatVersion = 2;
+/**
+ * On-disk live-point library format version (`.smlp` files).
+ * Version 3 adds the same flavor byte as checkpoint format v2
+ * (kCheckpointFlavorSolo/Mix, after the endianness marker);
+ * version-2 files — always solo — still load. Flavor 1 (co-run mix
+ * live-points) is RESERVED: no writer exists yet, and the loader
+ * refuses it by name so the reservation cannot rot silently.
+ */
+constexpr std::uint32_t kLivePointFormatVersion = 3;
 
 /** Warm resume state for ONE measured unit's (W + U) window. */
 struct LivePoint

@@ -10,18 +10,6 @@ namespace smarts::core {
 
 namespace {
 
-/** File magic: 8 bytes, version-independent. */
-constexpr char kMagic[8] = {'S', 'M', 'R', 'T',
-                            'C', 'K', 'P', 'T'};
-
-/**
- * Endianness probe: written as a u32 through the little-endian
- * encoder, so the file always carries bytes 04 03 02 01. An external
- * reader that decodes it as anything but 0x01020304 is applying the
- * wrong byte order.
- */
-constexpr std::uint32_t kEndianMark = 0x01020304u;
-
 const char *
 warmingName(WarmingMode mode)
 {
@@ -32,68 +20,6 @@ warmingName(WarmingMode mode)
       case WarmingMode::Functional: return "func";
     }
     return "?";
-}
-
-/**
- * The serial sampling schedule with state-equivalent warming, shared
- * by every capture flavor: fastForward over the inter-unit gaps
- * (identical to the serial run), warmAsDetailed over the
- * detailed-warming and measured windows (identical state
- * transitions, no timing). @p snap(shard) fires at each shard
- * boundary — an iteration start, where the session state is
- * bit-identical to the serial run's. Works for SimSession (one
- * config) and MultiSession (N configs in lockstep): both expose the
- * same stepping surface, and the architectural stream driving the
- * schedule is config-independent.
- */
-template <typename Session, typename Snap>
-void
-captureSchedule(Session &session, const SamplingConfig &config,
-                const std::vector<ShardSpec> &plan, Snap &&snap)
-{
-    if (plan.size() <= 1)
-        return;
-    const std::uint64_t u = config.unitSize;
-    const std::uint64_t w = config.detailedWarming;
-    const std::uint64_t k = config.interval;
-    if (!u || !k)
-        SMARTS_FATAL("capture needs nonzero unit size and interval");
-
-    std::uint64_t pos = session.instCount();
-    std::uint64_t unitIdx = config.nextGridIndex(config.offset, pos);
-    std::size_t next = 1;
-
-    while (next < plan.size()) {
-        if (unitIdx >= plan[next].firstUnitIndex) {
-            // The grid index can cross a boundary the STREAM never
-            // reached (it ended mid-unit on a mis-stated length);
-            // snapping there would persist a checkpoint load() must
-            // forever refuse. Unreachable boundary = stop.
-            if (session.instCount() < plan[next].resumePos)
-                break;
-            snap(next);
-            ++next;
-            continue;
-        }
-        // Stream shorter than planned (mis-stated length): the
-        // remaining checkpoints are unreachable.
-        if (session.finished() || unitIdx > ~0ull / u)
-            break;
-
-        const std::uint64_t unitStart = unitIdx * u;
-        const std::uint64_t warmStart =
-            unitStart > w ? unitStart - w : 0;
-        if (warmStart > pos) {
-            pos += session.fastForward(warmStart - pos,
-                                       config.warming);
-            if (session.finished())
-                continue;
-        }
-        if (unitStart > pos)
-            pos += session.warmAsDetailed(unitStart - pos);
-        pos += session.warmAsDetailed(u);
-        unitIdx += k;
-    }
 }
 
 /**
@@ -340,7 +266,7 @@ CheckpointLibrary::capture(SimSession &session,
                            const std::vector<ShardSpec> &plan,
                            const CheckpointSink &sink)
 {
-    captureSchedule(session, config, plan, [&](std::size_t s) {
+    detail::captureSchedule(session, config, plan, [&](std::size_t s) {
         ArchCheckpoint cp;
         session.saveState(cp.arch, cp.timing);
         cp.position = session.instCount();
@@ -384,7 +310,7 @@ CheckpointLibrary::buildMulti(MultiSession &session,
 
     ArchState arch;
     std::vector<TimingState> timings;
-    captureSchedule(session, config, plan, [&](std::size_t s) {
+    detail::captureSchedule(session, config, plan, [&](std::size_t s) {
         // One architectural snapshot, one timing snapshot per
         // config: library c gets exactly the checkpoint a
         // single-config capture of config c would have taken here.
@@ -407,10 +333,11 @@ void
 CheckpointLibrary::serialize(const LibraryKey &key,
                              util::BinaryWriter &out) const
 {
-    for (const char c : kMagic)
+    for (const char c : kCheckpointMagic)
         out.u8(static_cast<std::uint8_t>(c));
     out.u32(kCheckpointFormatVersion);
-    out.u32(kEndianMark);
+    out.u32(kCheckpointEndianMark);
+    out.u8(kCheckpointFlavorSolo);
     key.write(out);
 
     out.u64(plan_.size());
@@ -456,18 +383,29 @@ CheckpointLibrary::load(const std::string &path,
     if (in.failed())
         return refuse(std::move(ioError));
 
-    for (const char c : kMagic)
+    for (const char c : kCheckpointMagic)
         if (in.u8() != static_cast<std::uint8_t>(c))
             return refuse(log::format(
                 path, " is not a smarts checkpoint library"));
+    // v1 files (no flavor byte, always solo state) still load: the
+    // v1→v2 migration path. Anything newer is refused, not guessed.
     const std::uint32_t version = in.u32();
-    if (version != kCheckpointFormatVersion)
+    if (version != 1 && version != kCheckpointFormatVersion)
         return refuse(log::format(
             path, " is format version ", version,
-            "; this build reads version ", kCheckpointFormatVersion));
-    if (in.u32() != kEndianMark)
+            "; this build reads versions 1 and ",
+            kCheckpointFormatVersion));
+    if (in.u32() != kCheckpointEndianMark)
         return refuse(log::format(path,
                                   " has a bad endianness marker"));
+    if (version >= 2) {
+        const std::uint8_t flavor = in.u8();
+        if (flavor != kCheckpointFlavorSolo)
+            return refuse(log::format(
+                path, " holds flavor-", flavor,
+                " (co-run mix) state; load it through "
+                "mp::MixLibrary, not the solo library loader"));
+    }
 
     const LibraryKey stored = LibraryKey::read(in);
     const std::string mismatch = expect.mismatchAgainst(stored);

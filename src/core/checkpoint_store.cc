@@ -457,6 +457,66 @@ CheckpointStore::save(const LibraryKey &key,
     return true;
 }
 
+bool
+CheckpointStore::loadEntry(
+    const LibraryKey &key,
+    const std::function<bool(const std::string &path,
+                             std::string *error)> &loader,
+    std::string *error) const
+{
+    if (error)
+        error->clear();
+    const std::string rel = relFor(key, /*livePoints=*/false);
+    const std::string path = pathFor(key);
+    if (!entryExists(rel)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false; // plain miss, no diagnostic.
+    }
+
+    // Pin while reading so concurrent GC leaves the bytes alone; a
+    // refused lease means the entry vanished under us — that is a
+    // clean miss, not a refusal.
+    std::optional<StoreLease> lease =
+        pin(key, /*livePoints=*/false, "ld" + uniqueTag());
+    if (!lease) {
+        noteVanished(rel);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    if (loader(path, error)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        noteAccess(rel);
+        return true;
+    }
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        // Evicted between the pin race and the open: clean miss.
+        if (error)
+            error->clear();
+        noteVanished(rel);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+CheckpointStore::publishEntry(
+    const LibraryKey &key,
+    const std::function<bool(const std::string &path,
+                             std::string *error)> &writer,
+    std::string *error) const
+{
+    const std::string path = pathFor(key);
+    ensureDirFor(path);
+    if (!writer(path, error))
+        return false;
+    notePublish(relFor(key, /*livePoints=*/false), path);
+    return true;
+}
+
 std::optional<LivePointLibrary>
 CheckpointStore::tryLoadLivePoints(const LibraryKey &key,
                                    std::string *error) const

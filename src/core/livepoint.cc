@@ -269,6 +269,7 @@ LivePointLibrary::serialize(const LibraryKey &key,
         out.u8(static_cast<std::uint8_t>(c));
     out.u32(kLivePointFormatVersion);
     out.u32(kEndianMark);
+    out.u8(kCheckpointFlavorSolo);
     key.write(out);
 
     out.u64(streamLength_);
@@ -315,14 +316,25 @@ LivePointLibrary::load(const std::string &path,
         if (in.u8() != static_cast<std::uint8_t>(c))
             return refuse(log::format(
                 path, " is not a smarts live-point library"));
+    // v2 files (no flavor byte, always solo state) still load: the
+    // same migration policy as checkpoint v1→v2.
     const std::uint32_t version = in.u32();
-    if (version != kLivePointFormatVersion)
+    if (version != 2 && version != kLivePointFormatVersion)
         return refuse(log::format(
             path, " is format version ", version,
-            "; this build reads version ", kLivePointFormatVersion));
+            "; this build reads versions 2 and ",
+            kLivePointFormatVersion));
     if (in.u32() != kEndianMark)
         return refuse(log::format(path,
                                   " has a bad endianness marker"));
+    if (version >= 3) {
+        const std::uint8_t flavor = in.u8();
+        if (flavor != kCheckpointFlavorSolo)
+            return refuse(log::format(
+                path, " holds flavor-", flavor,
+                " (co-run mix) live-points, which no reader "
+                "implements yet (the flavor is reserved)"));
+    }
 
     const LibraryKey stored = LibraryKey::read(in);
     const std::string mismatch = expect.mismatchAgainst(stored);

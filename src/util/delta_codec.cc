@@ -98,8 +98,45 @@ deltaDecode(const std::vector<std::uint8_t> &base,
         return refuse(log::format("delta declares an absurd payload "
                                   "size (", rawSize, " bytes)"));
 
+    // Structural pre-walk, allocation-free: a corrupt stream must be
+    // refused BEFORE the payload buffer is sized from it, or a flipped
+    // size field turns into an out-of-memory crash instead of a
+    // diagnostic. Only a stream whose ops cover exactly rawSize with
+    // every literal byte present reaches the materializing pass.
+    {
+        std::size_t at = sizeof(std::uint64_t);
+        auto readU32 = [&delta, &at] {
+            std::uint32_t v = 0;
+            for (int shift = 0; shift < 32; shift += 8)
+                v |= static_cast<std::uint32_t>(delta[at++]) << shift;
+            return v;
+        };
+        std::uint64_t covered = 0;
+        while (covered < rawSize) {
+            if (delta.size() - at < 2 * sizeof(std::uint32_t))
+                return refuse("delta stream is truncated");
+            const std::uint32_t zeros = readU32();
+            const std::uint32_t literal = readU32();
+            if (!zeros && !literal)
+                return refuse("delta contains a zero-progress op");
+            if (zeros + std::uint64_t(literal) > rawSize - covered)
+                return refuse("delta ops overrun the declared size");
+            if (delta.size() - at < literal)
+                return refuse("delta stream is truncated");
+            at += literal;
+            covered += zeros + std::uint64_t(literal);
+        }
+        if (at != delta.size())
+            return refuse("delta stream has trailing garbage");
+    }
+
     std::vector<std::uint8_t> out;
-    out.reserve(static_cast<std::size_t>(rawSize));
+    try {
+        out.reserve(static_cast<std::size_t>(rawSize));
+    } catch (const std::bad_alloc &) {
+        return refuse(log::format("delta payload does not fit in "
+                                  "memory (", rawSize, " bytes)"));
+    }
     while (out.size() < rawSize) {
         const std::uint32_t zeros = in.u32();
         const std::uint32_t literal = in.u32();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * smarts_lint fixture: the co-run tier's state-struct shapes. A
+ * dual-world fixed-point lane state that forgets its newest counter
+ * (MixLaneFixtureState::shadowMisses) in write()/read(), and an
+ * owner-tagged shared-cache state whose read() order disagrees with
+ * its write() order, must fire serializer-completeness exactly as
+ * the solo shapes do.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace util {
+class BinaryWriter;
+class BinaryReader;
+} // namespace util
+
+namespace fixture {
+
+struct MixLaneFixtureState
+{
+    std::uint64_t coCyclesFx = 0;
+    std::uint64_t soloCyclesFx = 0;
+    std::uint64_t shadowMisses = 0;
+
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.u64(coCyclesFx);
+        out.u64(soloCyclesFx);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        coCyclesFx = in.u64();
+        soloCyclesFx = in.u64();
+    }
+};
+
+struct SharedTagsFixtureState
+{
+    std::vector<std::uint32_t> tags;
+    std::vector<std::uint8_t> owners;
+
+    void
+    write(util::BinaryWriter &out) const
+    {
+        out.vecU32(tags);
+        out.vecU8(owners);
+    }
+
+    void
+    read(util::BinaryReader &in)
+    {
+        owners = in.vecU8();
+        tags = in.vecU32();
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Fuzz-style robustness tests for the two binary decoders that
+ * consume files an external party (or a crashed writer) controls:
+ * util::deltaDecode and the StoreIndex journal replay. Deterministic
+ * xoshiro-driven mutation loops — >= 10k cases each — assert the
+ * decoders' whole contract: REFUSE (nullopt/diagnostic) or decode,
+ * never crash, never overrun (the latter enforced by the CI
+ * ASan/UBSan matrices running this binary). Seeds are fixed so a
+ * failure reproduces bit-for-bit on any host.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check.hh"
+#include "core/store_index.hh"
+#include "util/delta_codec.hh"
+#include "util/rng.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace smarts;
+
+constexpr const char *kRoot = "fuzz_codec_tmp";
+
+/** Mutate 1..8 random bytes; sometimes truncate or extend. */
+std::vector<std::uint8_t>
+mutate(const std::vector<std::uint8_t> &original,
+       Xoshiro256StarStar &rng)
+{
+    std::vector<std::uint8_t> bytes = original;
+    if (!bytes.empty() && rng.chance(0.15))
+        bytes.resize(rng.below(bytes.size()));
+    if (rng.chance(0.10)) {
+        const std::uint64_t extra = 1 + rng.below(32);
+        for (std::uint64_t i = 0; i < extra; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    if (!bytes.empty()) {
+        const std::uint64_t flips = 1 + rng.below(8);
+        for (std::uint64_t i = 0; i < flips; ++i)
+            bytes[rng.below(bytes.size())] =
+                static_cast<std::uint8_t>(rng.next());
+    }
+    return bytes;
+}
+
+/** A realistically sparse payload pair, as livepoint chains see. */
+void
+makeCorpusPair(Xoshiro256StarStar &rng, std::size_t size,
+               std::vector<std::uint8_t> &base,
+               std::vector<std::uint8_t> &data)
+{
+    base.assign(size, 0);
+    for (std::size_t i = 0; i < size; ++i)
+        base[i] = static_cast<std::uint8_t>(rng.next());
+    data = base;
+    // Sparse diffs: a few short dirty stretches.
+    const std::uint64_t stretches = 1 + rng.below(6);
+    for (std::uint64_t s = 0; s < stretches && !data.empty(); ++s) {
+        std::size_t at = rng.below(data.size());
+        const std::uint64_t len = 1 + rng.below(64);
+        for (std::uint64_t i = 0; i < len && at < data.size();
+             ++i, ++at)
+            data[at] = static_cast<std::uint8_t>(rng.next());
+    }
+}
+
+void
+testDeltaCodecFuzz()
+{
+    Xoshiro256StarStar rng(0xde17ac0de5eedull);
+
+    // Corpus of valid (base, data, delta) triples at several sizes,
+    // including empty and size-mismatched bases.
+    struct Case
+    {
+        std::vector<std::uint8_t> base;
+        std::vector<std::uint8_t> data;
+        std::vector<std::uint8_t> delta;
+    };
+    std::vector<Case> corpus;
+    for (std::size_t size : {std::size_t(0), std::size_t(1),
+                             std::size_t(63), std::size_t(256),
+                             std::size_t(2048)}) {
+        Case c;
+        makeCorpusPair(rng, size, c.base, c.data);
+        c.delta = util::deltaEncode(c.base, c.data);
+        corpus.push_back(std::move(c));
+        // A first-of-chain record: empty base, data stored literal.
+        Case first;
+        makeCorpusPair(rng, size, first.data, first.data);
+        first.delta = util::deltaEncode({}, first.data);
+        corpus.push_back(std::move(first));
+    }
+
+    // Sanity: every corpus delta roundtrips exactly.
+    for (const Case &c : corpus) {
+        std::string error;
+        const auto out = util::deltaDecode(c.base, c.delta, &error);
+        CHECK(out && *out == c.data);
+    }
+
+    // Mutation loop: 12k mutated deltas must each either refuse
+    // with a diagnostic or produce a payload — never crash or read
+    // out of bounds (ASan/UBSan enforce the latter in CI).
+    std::uint64_t refused = 0;
+    std::uint64_t decoded = 0;
+    for (int i = 0; i < 12000; ++i) {
+        const Case &c = corpus[rng.below(corpus.size())];
+        const std::vector<std::uint8_t> bad = mutate(c.delta, rng);
+        std::string error;
+        const auto out = util::deltaDecode(c.base, bad, &error);
+        if (out) {
+            ++decoded;
+            if (bad == c.delta)
+                CHECK(*out == c.data);
+        } else {
+            ++refused;
+            CHECK(!error.empty());
+        }
+    }
+    // The loop must exercise BOTH outcomes, or the property is
+    // vacuous (e.g. a mutator that always destroys the header).
+    CHECK(refused > 0);
+    CHECK(decoded > 0);
+
+    // Pure-garbage streams: all refusals, never crashes.
+    for (int i = 0; i < 3000; ++i) {
+        std::vector<std::uint8_t> garbage(rng.below(512));
+        for (std::uint8_t &b : garbage)
+            b = static_cast<std::uint8_t>(rng.next());
+        std::string error;
+        const auto out = util::deltaDecode({}, garbage, &error);
+        if (!out)
+            CHECK(!error.empty());
+    }
+}
+
+void
+writeBytes(const std::string &path,
+           const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+testStoreIndexJournalFuzz()
+{
+    Xoshiro256StarStar rng(0x5104e17dec0dedull);
+
+    const std::string valid =
+        std::string(kRoot) + "/valid-journal";
+    const std::string target =
+        std::string(kRoot) + "/fuzzed-journal";
+
+    // Build a realistic journal: adds, touches, removes, replays.
+    std::string error;
+    const char *rels[] = {"a/lib1.smck", "a/lib2.smck",
+                          "b/points.smlp", "mix-a+b/lib.smck"};
+    std::uint64_t atime = 0;
+    for (int round = 0; round < 6; ++round)
+        for (const char *rel : rels) {
+            CHECK(core::StoreIndex::appendRecord(
+                valid, core::StoreIndex::Op::Add, rel,
+                1000 + rng.below(50000), ++atime, &error));
+            if (rng.chance(0.5))
+                CHECK(core::StoreIndex::appendRecord(
+                    valid, core::StoreIndex::Op::Touch, rel, 0,
+                    ++atime, &error));
+            if (rng.chance(0.2))
+                CHECK(core::StoreIndex::appendRecord(
+                    valid, core::StoreIndex::Op::Remove, rel, 0,
+                    ++atime, &error));
+        }
+
+    // Sanity: the untouched journal replays.
+    const auto sane = core::StoreIndex::load(valid, &error);
+    CHECK(sane.has_value());
+    const std::vector<std::uint8_t> journal = readBytes(valid);
+    CHECK(journal.size() > 64);
+
+    // Mutation loop: 10k corrupted journals must each either refuse
+    // with a diagnostic or replay into a consistent index.
+    std::uint64_t refused = 0;
+    std::uint64_t replayed = 0;
+    for (int i = 0; i < 10000; ++i) {
+        writeBytes(target, mutate(journal, rng));
+        std::string why;
+        const auto index = core::StoreIndex::load(target, &why);
+        if (index) {
+            ++replayed;
+            // Whatever replayed must be internally consistent.
+            std::uint64_t total = 0;
+            for (const auto &entry : index->entries())
+                total += entry.second.bytes;
+            CHECK_EQ(total, index->totalBytes());
+            CHECK(index->entryCount() <= index->journalRecords());
+        } else {
+            ++refused;
+            CHECK(!why.empty());
+        }
+    }
+    CHECK(refused > 0);
+    // Per-record checksums mean most byte flips are caught; a
+    // replay can still succeed (e.g. mutations inside a record that
+    // a truncation then drops), so don't require replays — but DO
+    // require the loop saw refusals, and print nothing either way.
+
+    // Pure-garbage files: never crash.
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<std::uint8_t> garbage(rng.below(256));
+        for (std::uint8_t &b : garbage)
+            b = static_cast<std::uint8_t>(rng.next());
+        writeBytes(target, garbage);
+        std::string why;
+        const auto index = core::StoreIndex::load(target, &why);
+        if (!index)
+            CHECK(!why.empty());
+    }
+    (void)replayed;
+}
+
+} // namespace
+
+int
+main()
+{
+    fs::remove_all(kRoot);
+    fs::create_directories(kRoot);
+
+    testDeltaCodecFuzz();
+    testStoreIndexJournalFuzz();
+    TEST_MAIN_SUMMARY();
+}

@@ -109,6 +109,24 @@ testEachCheckFiresOnItsFixture()
     CHECK(r.diagnostics[0].message.find("before its first") !=
           std::string::npos);
 
+    // serializer-completeness over the co-run tier's state shapes
+    // (dual-world lane counters, owner-tagged shared-cache arrays):
+    // a forgotten newest field fires against write AND read, and a
+    // vector-field order swap is caught.
+    r = lintOne("mix_state_incomplete.cc");
+    CHECK_EQ(r.diagnostics.size(), std::size_t(3));
+    CHECK_EQ(countAt(r, "serializer-completeness", 25), 2);
+    CHECK_EQ(countAt(r, "serializer-completeness", 52), 1);
+    bool sawShadow = false, sawTagOrder = false;
+    for (const Diagnostic &d : r.diagnostics) {
+        if (d.message.find("'shadowMisses'") != std::string::npos)
+            sawShadow = true;
+        if (d.message.find("different orders") != std::string::npos)
+            sawTagOrder = true;
+    }
+    CHECK(sawShadow);
+    CHECK(sawTagOrder);
+
     // float-fold-discipline: the merge-path marker opts the file
     // in; both the bare += and std::accumulate fire.
     r = lintOne("float_fold_merge.cc");
@@ -202,6 +220,48 @@ testDroppedArchStateFieldIsCaught()
     std::remove(mutated.c_str());
 }
 
+/**
+ * Same acceptance guard over the co-run tier: drop the owner-tag
+ * array from the real SharedCacheState::write and the linter must
+ * notice — the shared hierarchy's state structs are under the same
+ * serializer-completeness contract as the solo ones.
+ */
+void
+testDroppedSharedCacheFieldIsCaught()
+{
+    const std::string path =
+        repoRoot + "/include/smarts/mem/shared_hierarchy.hh";
+    std::ifstream in(path);
+    CHECK(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string code = buffer.str();
+
+    Report r = smarts::lint::lintFiles({path}, {});
+    CHECK(r.clean());
+
+    const std::string dropped = "out.vecU8(owners);";
+    const std::size_t at = code.find(dropped);
+    CHECK(at != std::string::npos);
+    code.erase(at, dropped.size());
+
+    const std::string mutated = "test_lint_mutated_shared.hh";
+    {
+        std::ofstream out(mutated);
+        out << code;
+    }
+    r = smarts::lint::lintFiles({mutated}, {});
+    bool caught = false;
+    for (const Diagnostic &d : r.diagnostics)
+        caught = caught ||
+                 (d.check == "serializer-completeness" &&
+                  d.message.find("'owners'") != std::string::npos &&
+                  d.message.find("never written") !=
+                      std::string::npos);
+    CHECK(caught);
+    std::remove(mutated.c_str());
+}
+
 /** One pass through the installed CLI: exit codes and output. */
 void
 testBinaryEndToEnd()
@@ -261,6 +321,7 @@ main(int argc, char **argv)
     testCheckTogglesFilter();
     testDiagnosticFormatIsClickable();
     testDroppedArchStateFieldIsCaught();
+    testDroppedSharedCacheFieldIsCaught();
     testBinaryEndToEnd();
 
     TEST_MAIN_SUMMARY();

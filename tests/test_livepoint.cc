@@ -317,7 +317,16 @@ testLibraryRoundtripAndRefusals()
     // Version bump: a future format must refuse, not misparse.
     {
         std::vector<std::uint8_t> bad = good;
-        bad[8] = 3;
+        bad[8] = 4;
+        writeFileBytes(victim, bad);
+        resealChecksum(victim);
+        refuses(victim);
+    }
+
+    // Flavor byte flipped to mix (1): reserved — no reader exists.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[16] = 1; // flavor u8 sits after magic+version+endian.
         writeFileBytes(victim, bad);
         resealChecksum(victim);
         refuses(victim);

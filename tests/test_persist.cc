@@ -265,10 +265,20 @@ testRefusals()
     // a future-format file must be refused, not misread.
     {
         std::vector<std::uint8_t> bad = good;
-        bad[8] = 2; // version u32 sits right after the 8-byte magic.
+        bad[8] = 3; // version u32 sits right after the 8-byte magic.
         writeFileBytes(path, bad);
         resealChecksum(path);
-        expectRefusal("version bump", "format version 2");
+        expectRefusal("version bump", "format version 3");
+    }
+
+    // Flavor byte flipped to mix (1): a co-run payload must be
+    // routed to mp::MixLibrary, never misread as solo state.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[16] = 1; // flavor u8 sits after magic+version+endian.
+        writeFileBytes(path, bad);
+        resealChecksum(path);
+        expectRefusal("mix flavor", "mp::MixLibrary");
     }
 
     // Bad magic.

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the core + mem tiers.
+
+Walks a --coverage build tree for .gcda files, runs gcov in JSON
+mode, and aggregates line coverage for the gated scopes: src/core/
+(the sampler/session/checkpoint engine) and the header-only mem tier
+include/smarts/mem/ (there is no src/mem/ — every cache model lives
+in headers). Lines are merged across translation units the way lcov
+merges them: a line is instrumented if any TU instruments it and hit
+if any TU hits it.
+
+Writes a coverage.json summary and compares the gated percentage
+against the recorded baseline (tests/coverage_baseline.txt):
+
+    coverage_gate.py --build <dir> [--json coverage.json]
+        gate mode: exit 1 if gated coverage < baseline.
+    coverage_gate.py --build <dir> --record
+        rewrite the baseline from this run (floor to one decimal,
+        so sub-0.1%% jitter between hosts never trips the gate).
+
+CI and local baseline recording both run THIS script, so the gate
+compares like with like; the lcov HTML artifact is presentation
+only.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCOPES = ("src/core/", "include/smarts/mem/")
+BASELINE = os.path.join("tests", "coverage_baseline.txt")
+
+
+def in_scope(path):
+    # gcov reports paths as the compiler saw them; normalize away
+    # build-relative prefixes before matching.
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    return any(scope in norm for scope in SCOPES)
+
+
+def scope_key(path):
+    norm = os.path.normpath(path).replace(os.sep, "/")
+    for scope in SCOPES:
+        at = norm.find(scope)
+        if at >= 0:
+            return norm[at:]
+    return None
+
+
+def collect(build_dir):
+    """file -> {line -> hit_count (merged max across TUs)}."""
+    gcdas = []
+    # Absolute paths: gcov runs from a scratch cwd below.
+    build_dir = os.path.abspath(build_dir)
+    for root, _dirs, files in os.walk(build_dir):
+        gcdas.extend(
+            os.path.join(root, f) for f in files if f.endswith(".gcda")
+        )
+    if not gcdas:
+        sys.exit(f"no .gcda files under {build_dir}; build with "
+                 "-DSMARTS_COVERAGE=ON and run the unit tier first")
+
+    merged = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        for gcda in gcdas:
+            subprocess.run(
+                ["gcov", "--json-format",
+                 "--object-directory", os.path.dirname(gcda), gcda],
+                cwd=scratch, check=False,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for name in os.listdir(scratch):
+                if not name.endswith(".gcov.json.gz"):
+                    continue
+                full = os.path.join(scratch, name)
+                with gzip.open(full, "rt") as fh:
+                    data = json.load(fh)
+                os.unlink(full)
+                for entry in data.get("files", []):
+                    key = scope_key(entry.get("file", ""))
+                    if key is None:
+                        continue
+                    lines = merged.setdefault(key, {})
+                    for line in entry.get("lines", []):
+                        n = line["line_number"]
+                        lines[n] = max(lines.get(n, 0), line["count"])
+    return merged
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", required=True)
+    ap.add_argument("--json", default="coverage.json")
+    ap.add_argument("--record", action="store_true")
+    args = ap.parse_args()
+
+    merged = collect(args.build)
+    total = sum(len(lines) for lines in merged.values())
+    hit = sum(
+        1 for lines in merged.values() for c in lines.values() if c
+    )
+    if not total:
+        sys.exit("no instrumented lines found in the gated scopes")
+    pct = 100.0 * hit / total
+
+    per_file = {
+        f: {
+            "lines": len(lines),
+            "hit": sum(1 for c in lines.values() if c),
+        }
+        for f, lines in sorted(merged.items())
+    }
+    with open(args.json, "w") as fh:
+        json.dump(
+            {
+                "scopes": list(SCOPES),
+                "line_total": total,
+                "line_hit": hit,
+                "line_coverage_pct": round(pct, 2),
+                "files": per_file,
+            },
+            fh, indent=2,
+        )
+        fh.write("\n")
+    print(f"gated line coverage ({' + '.join(SCOPES)}): "
+          f"{hit}/{total} = {pct:.2f}%")
+
+    if args.record:
+        floored = int(pct * 10) / 10.0
+        with open(BASELINE, "w") as fh:
+            fh.write(f"{floored}\n")
+        print(f"baseline recorded: {floored} -> {BASELINE}")
+        return
+
+    try:
+        with open(BASELINE) as fh:
+            baseline = float(fh.read().strip())
+    except OSError:
+        sys.exit(f"missing baseline file {BASELINE}; run with "
+                 "--record to create it")
+    print(f"recorded baseline: {baseline:.1f}%")
+    if pct < baseline:
+        sys.exit(f"coverage regression: {pct:.2f}% < baseline "
+                 f"{baseline:.1f}%")
+    print("coverage gate: OK")
+
+
+if __name__ == "__main__":
+    main()
